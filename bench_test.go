@@ -1,0 +1,76 @@
+// Package hrwle's root benchmarks regenerate one representative point of
+// every figure in the paper's evaluation (run the full sweeps with
+// cmd/hrwle-bench). Because the workload executes in deterministic virtual
+// time, each benchmark also reports the simulated metrics the paper plots:
+// virtual Mops/s and the abort rate.
+package hrwle
+
+import (
+	"testing"
+
+	"hrwle/internal/harness"
+	"hrwle/internal/machine"
+)
+
+// benchPoint runs one figure point per b.N iteration and reports virtual
+// throughput and abort rate alongside wall time.
+func benchPoint(b *testing.B, fig, scheme string, threads, writePct int, scale float64) {
+	b.Helper()
+	figs := harness.Registry()
+	spec, ok := figs[fig]
+	if !ok {
+		b.Fatalf("unknown figure %s", fig)
+	}
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		last = spec.Point(scheme, threads, writePct, scale)
+	}
+	if last.B.Ops > 0 {
+		b.ReportMetric(float64(last.B.Ops)/machine.Seconds(last.Cycles)/1e6, "virtual-Mops/s")
+	}
+	b.ReportMetric(last.B.AbortRate(), "abort%")
+}
+
+// Fig. 3 — hashmap, high capacity, high contention.
+func BenchmarkFig3_RWLE_OPT(b *testing.B) { benchPoint(b, "fig3", "RW-LE_OPT", 8, 10, 0.05) }
+func BenchmarkFig3_RWLE_PES(b *testing.B) { benchPoint(b, "fig3", "RW-LE_PES", 8, 10, 0.05) }
+func BenchmarkFig3_HLE(b *testing.B)      { benchPoint(b, "fig3", "HLE", 8, 10, 0.05) }
+func BenchmarkFig3_SGL(b *testing.B)      { benchPoint(b, "fig3", "SGL", 8, 10, 0.05) }
+
+// Fig. 4 — hashmap, high capacity, low contention.
+func BenchmarkFig4_RWLE_OPT(b *testing.B) { benchPoint(b, "fig4", "RW-LE_OPT", 8, 10, 0.05) }
+func BenchmarkFig4_HLE(b *testing.B)      { benchPoint(b, "fig4", "HLE", 8, 10, 0.05) }
+
+// Fig. 5 — hashmap, low capacity, high contention.
+func BenchmarkFig5_RWLE_OPT(b *testing.B) { benchPoint(b, "fig5", "RW-LE_OPT", 8, 10, 0.05) }
+func BenchmarkFig5_HLE(b *testing.B)      { benchPoint(b, "fig5", "HLE", 8, 10, 0.05) }
+
+// Fig. 6 — hashmap, low capacity, low contention, VM-subsystem stress.
+func BenchmarkFig6_RWLE_OPT(b *testing.B) { benchPoint(b, "fig6", "RW-LE_OPT", 8, 10, 0.05) }
+func BenchmarkFig6_HLE(b *testing.B)      { benchPoint(b, "fig6", "HLE", 8, 10, 0.05) }
+
+// Fig. 7 — fairness stress (ROTs disabled).
+func BenchmarkFig7_RWLE(b *testing.B)      { benchPoint(b, "fig7", "RW-LE", 8, 10, 0.05) }
+func BenchmarkFig7_RWLE_FAIR(b *testing.B) { benchPoint(b, "fig7", "RW-LE_FAIR", 8, 10, 0.05) }
+
+// Fig. 8 — STMBench7.
+func BenchmarkFig8_RWLE_OPT(b *testing.B) { benchPoint(b, "fig8", "RW-LE_OPT", 8, 10, 0.05) }
+func BenchmarkFig8_RWLE_PES(b *testing.B) { benchPoint(b, "fig8", "RW-LE_PES", 8, 10, 0.05) }
+func BenchmarkFig8_HLE(b *testing.B)      { benchPoint(b, "fig8", "HLE", 8, 10, 0.05) }
+func BenchmarkFig8_RWL(b *testing.B)      { benchPoint(b, "fig8", "RWL", 8, 10, 0.05) }
+
+// Fig. 9 — Kyoto Cabinet wicked workload.
+func BenchmarkFig9_RWLE_OPT(b *testing.B) { benchPoint(b, "fig9", "RW-LE_OPT", 8, 5, 0.05) }
+func BenchmarkFig9_HLE(b *testing.B)      { benchPoint(b, "fig9", "HLE", 8, 5, 0.05) }
+func BenchmarkFig9_Orig(b *testing.B)     { benchPoint(b, "fig9", "Orig", 8, 5, 0.05) }
+
+// Fig. 10 — TPC-C.
+func BenchmarkFig10_RWLE_OPT(b *testing.B) { benchPoint(b, "fig10", "RW-LE_OPT", 8, 10, 0.05) }
+func BenchmarkFig10_HLE(b *testing.B)      { benchPoint(b, "fig10", "HLE", 8, 10, 0.05) }
+func BenchmarkFig10_BRLock(b *testing.B)   { benchPoint(b, "fig10", "BRLock", 8, 10, 0.05) }
+
+// Ablations.
+func BenchmarkRetries5(b *testing.B) { benchPoint(b, "retries", "retry=5", 8, 10, 0.05) }
+func BenchmarkRetries1(b *testing.B) { benchPoint(b, "retries", "retry=1", 8, 10, 0.05) }
+func BenchmarkSplitOff(b *testing.B) { benchPoint(b, "split", "RW-LE_OPT", 8, 10, 0.05) }
+func BenchmarkSplitOn(b *testing.B)  { benchPoint(b, "split", "RW-LE_SPLIT", 8, 10, 0.05) }

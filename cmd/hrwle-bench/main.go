@@ -1,0 +1,100 @@
+// Command hrwle-bench regenerates the evaluation figures of "Hardware
+// Read-Write Lock Elision" (EuroSys'16) on the simulated POWER8 machine.
+//
+// Usage:
+//
+//	hrwle-bench -list
+//	hrwle-bench -fig fig3 [-scale 0.25] [-o fig3.txt]
+//	hrwle-bench -fig all  [-scale 1]
+//
+// Each figure prints three panels matching the paper: execution time (or
+// throughput), the abort-cause breakdown, and the commit-path breakdown.
+// -scale multiplies the amount of work per point (1 = the default recorded
+// in EXPERIMENTS.md; smaller is faster and noisier).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hrwle/internal/harness"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to regenerate (fig3..fig10, retries, split, or 'all')")
+		scale   = flag.Float64("scale", 1.0, "work multiplier per measurement point")
+		out     = flag.String("o", "", "write results to file (default stdout)")
+		list    = flag.Bool("list", false, "list available figures")
+		quiet   = flag.Bool("q", false, "suppress per-point progress")
+		threads = flag.String("threads", "", "override thread counts, e.g. 2,8,32")
+	)
+	flag.Parse()
+
+	figs := harness.Registry()
+	if *list || *fig == "" {
+		fmt.Println("available figures:")
+		for _, id := range harness.SortedIDs(figs) {
+			fmt.Printf("  %-8s %s\n", id, figs[id].Title)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var ids []string
+	if *fig == "all" {
+		ids = harness.SortedIDs(figs)
+	} else {
+		if _, ok := figs[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q (use -list)\n", *fig)
+			os.Exit(1)
+		}
+		ids = []string{*fig}
+	}
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	for _, id := range ids {
+		spec := figs[id]
+		if *threads != "" {
+			spec.Threads = parseInts(*threads)
+		}
+		start := time.Now()
+		results := spec.Run(*scale, progress)
+		harness.Print(w, spec, results)
+		fmt.Fprintf(os.Stderr, "%s done in %.1fs wall\n", id, time.Since(start).Seconds())
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	cur := 0
+	have := false
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			cur = cur*10 + int(s[i]-'0')
+			have = true
+			continue
+		}
+		if have {
+			out = append(out, cur)
+		}
+		cur, have = 0, false
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Command hrwle-trace runs a small lock-elision scenario with the machine's
+// event tracer enabled and prints a virtual-time-ordered trace of
+// transaction lifecycle events — begins, dooms, aborts (with cause),
+// suspends, quiescence windows, commits — followed by an event summary.
+// It is the debugging lens for understanding *why* a scheme behaves the
+// way a figure shows.
+//
+// Usage:
+//
+//	hrwle-trace [-scheme RW-LE_OPT] [-threads 4] [-ops 30] [-w 20] [-n 120]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hrwle/internal/harness"
+	"hrwle/internal/hashmap"
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+func main() {
+	var (
+		scheme  = flag.String("scheme", "RW-LE_OPT", "synchronization scheme (see hrwle-bench -list output)")
+		threads = flag.Int("threads", 4, "simulated hardware threads")
+		ops     = flag.Int("ops", 30, "operations per thread")
+		writes  = flag.Int("w", 20, "write percentage")
+		events  = flag.Int("n", 120, "max events to print")
+	)
+	flag.Parse()
+
+	m := machine.New(machine.Config{CPUs: *threads, MemWords: 1 << 20, Seed: 7})
+	sys := htm.NewSystem(m, htm.Config{})
+	lock := harness.SchemeFactory(*scheme)(sys)
+	h := hashmap.New(m, 4)
+	h.Populate(50)
+
+	ring := machine.NewRingTracer(*events)
+	counts := &machine.CountTracer{}
+	m.SetTracer(tee{ring, counts})
+
+	cycles := m.Run(*threads, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		var spare machine.Addr
+		for i := 0; i < *ops; i++ {
+			key := uint64(c.Intn(200))
+			if c.Intn(100) < *writes {
+				if spare == 0 {
+					spare = h.PrepareNode(th)
+				}
+				used := false
+				lock.Write(th, func() { used = h.Insert(th, key, key, spare) })
+				if used {
+					spare = 0
+				}
+			} else {
+				lock.Read(th, func() { h.Lookup(th, key) })
+			}
+		}
+	})
+
+	fmt.Printf("scheme=%s threads=%d ops/thread=%d w=%d%%  →  %d virtual cycles\n\n",
+		lock.Name(), *threads, *ops, *writes, cycles)
+	fmt.Printf("%12s %4s %-14s %s\n", "CYCLE", "CPU", "EVENT", "DETAIL")
+	for _, e := range ring.Events() {
+		fmt.Printf("%12d %4d %-14s %s\n", e.Time, e.CPU, e.Kind, detail(e))
+	}
+
+	fmt.Println("\nevent totals:")
+	for k, n := range counts.Counts {
+		if n > 0 {
+			fmt.Printf("  %-14s %8d\n", machine.EventKind(k), n)
+		}
+	}
+	b := stats.Merge(sys.Stats(*threads), cycles)
+	fmt.Printf("\naborts: %.1f%% of %d attempts   commits: %s\n",
+		b.AbortRate(), b.TxStarts, b.FormatCommits())
+}
+
+// tee fans events out to multiple tracers.
+type tee struct {
+	a, b machine.Tracer
+}
+
+func (t tee) Event(e machine.Event) {
+	t.a.Event(e)
+	t.b.Event(e)
+}
+
+func detail(e machine.Event) string {
+	switch e.Kind {
+	case machine.EvTxBegin:
+		if e.Aux == 1 {
+			return "ROT"
+		}
+		return "HTM"
+	case machine.EvTxAbort, machine.EvTxDoom:
+		return "cause=" + stats.AbortCause(e.Aux).String()
+	case machine.EvTxCommit:
+		return fmt.Sprintf("%d dirty words", e.Aux)
+	case machine.EvQuiesceEnd:
+		return fmt.Sprintf("waited %d cycles", e.Aux)
+	case machine.EvRead, machine.EvWrite, machine.EvCAS:
+		return fmt.Sprintf("addr=%d val=%d", e.Addr, e.Aux)
+	case machine.EvPageFault:
+		return fmt.Sprintf("page=%d", e.Aux)
+	}
+	return ""
+}

@@ -1,0 +1,59 @@
+// tpcc: a miniature of the paper's Fig. 10 — the TPC-C workload with its
+// five transaction profiles under an elided read-write lock, including the
+// full consistency audit (W_YTD = Σ D_YTD, order-id accounting, new-order
+// queues, and the customer balance equation) after every run.
+//
+// Run with: go run ./examples/tpcc
+package main
+
+import (
+	"fmt"
+
+	"hrwle/internal/core"
+	"hrwle/internal/htm"
+	"hrwle/internal/locks"
+	"hrwle/internal/machine"
+	"hrwle/internal/rwlock"
+	"hrwle/internal/stats"
+	"hrwle/internal/tpcc"
+)
+
+func run(name string, mk rwlock.Factory, threads, writePct int) {
+	cfg := tpcc.DefaultConfig()
+	const opsPerThread = 120
+	totalOps := int64(threads * opsPerThread)
+	m := machine.New(machine.Config{CPUs: threads, MemWords: cfg.MemWords(totalOps), Seed: 21})
+	sys := htm.NewSystem(m, htm.Config{})
+	lock := mk(sys)
+	db := tpcc.Build(m, cfg)
+	wl := &tpcc.Workload{DB: db, WritePct: writePct}
+
+	elapsed := m.Run(threads, func(c *machine.CPU) {
+		t := sys.Thread(c.ID)
+		for i := 0; i < opsPerThread; i++ {
+			wl.Step(lock, t, c)
+		}
+	})
+	b := stats.Merge(sys.Stats(threads), elapsed)
+	audit := "consistent"
+	if msg := db.CheckConsistency(&wl.Audit); msg != "" {
+		audit = "VIOLATION: " + msg
+	}
+	fmt.Printf("%-10s w=%2d%% %2d thr: %7.0f ktx/s  aborts %5.1f%%  %s  [%s]\n",
+		name, writePct, threads,
+		float64(b.Ops)/machine.Seconds(elapsed)/1e3, b.AbortRate(), b.FormatCommits(), audit)
+}
+
+func main() {
+	fmt.Println("TPC-C over an in-memory store: read-only transactions under the read")
+	fmt.Println("lock, updates (New-Order/Payment/Delivery) under the write lock")
+	fmt.Println()
+	for _, w := range []int{1, 10, 50} {
+		for _, n := range []int{1, 8, 32} {
+			run("RW-LE_OPT", func(s *htm.System) rwlock.Lock { return core.New(s, core.Opt()) }, n, w)
+			run("HLE", func(s *htm.System) rwlock.Lock { return locks.NewHLE(s) }, n, w)
+			run("SGL", func(s *htm.System) rwlock.Lock { return locks.NewSGL(s) }, n, w)
+		}
+		fmt.Println()
+	}
+}

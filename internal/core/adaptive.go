@@ -1,0 +1,80 @@
+package core
+
+// adaptiveController implements the self-tuning retry policy that the
+// paper's related work motivates (Diegues & Romano's workload-oblivious
+// tuning of HTM retry budgets [9]): instead of the fixed 5+5 budgets, it
+// observes a window of write critical sections and hill-climbs the HTM
+// budget between 0 and maxBudget.
+//
+// The controller is intentionally simple and fully deterministic: every
+// window of `window` writer outcomes it compares the fraction of sections
+// that committed on the HTM path against two thresholds, growing the
+// budget when HTM is paying off and shrinking it when attempts are being
+// wasted (capacity-bound workloads converge to the ROT-first behaviour of
+// RW-LE_PES; conflict-free workloads converge to long HTM budgets).
+//
+// State is host-side and mutated only by the token-holding CPU, so it is
+// race-free and reproducible.
+type adaptiveController struct {
+	window    int
+	maxBudget int
+
+	budget    int // current MAX-HTM
+	samples   int
+	htmWins   int
+	htmTried  int
+	lastDir   int // +1 growing, -1 shrinking (momentum)
+	winRate10 int // last window's win rate in tenths, for introspection
+}
+
+func newAdaptiveController() *adaptiveController {
+	return &adaptiveController{window: 64, maxBudget: 8, budget: 5, lastDir: 1}
+}
+
+// Budget returns the current MAX-HTM budget.
+func (a *adaptiveController) Budget() int { return a.budget }
+
+// record feeds one writer outcome: whether the HTM path was attempted at
+// all and whether it ultimately committed the section.
+func (a *adaptiveController) record(htmTried, htmWon bool) {
+	a.samples++
+	if htmTried {
+		a.htmTried++
+		if htmWon {
+			a.htmWins++
+		}
+	}
+	if a.samples < a.window {
+		return
+	}
+	rate := -1
+	if a.htmTried > 0 {
+		rate = 10 * a.htmWins / a.htmTried
+	}
+	a.winRate10 = rate
+	switch {
+	case rate < 0:
+		// HTM disabled: probe it again occasionally so the controller
+		// can escape budget 0 if the workload changed.
+		a.budget = 1
+		a.lastDir = 1
+	case rate >= 7: // ≥70% of attempted sections commit via HTM: grow
+		if a.budget < a.maxBudget {
+			a.budget++
+		}
+		a.lastDir = 1
+	case rate <= 2: // ≤20%: HTM attempts are wasted work, shrink fast
+		a.budget /= 2
+		a.lastDir = -1
+	default:
+		// Mid-range: drift with momentum, one step at a time.
+		a.budget += a.lastDir
+		if a.budget > a.maxBudget {
+			a.budget = a.maxBudget
+		}
+		if a.budget < 0 {
+			a.budget = 0
+		}
+	}
+	a.samples, a.htmWins, a.htmTried = 0, 0, 0
+}

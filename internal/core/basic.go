@@ -1,0 +1,117 @@
+package core
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+// Basic is the paper's Algorithm 1: the didactic HTM-only variant of RW-LE
+// with writers serialized by a spin lock and blind retry of failed
+// transactions. It has no ROT or non-speculative fallback, so a write
+// critical section that persistently exceeds capacity can never complete —
+// it exists for exposition and testing; use RWLE (Algorithm 2) for real
+// workloads.
+type Basic struct {
+	sys      *htm.System
+	nthreads int
+	wlock    machine.Addr
+	clocks   machine.Addr
+	lineW    machine.Addr
+}
+
+// NewBasic creates an Algorithm 1 lock.
+func NewBasic(sys *htm.System) *Basic {
+	m := sys.M
+	return &Basic{
+		sys:      sys,
+		nthreads: m.Cfg.CPUs,
+		wlock:    m.AllocRawAligned(1),
+		clocks:   m.AllocRawAligned(int64(m.Cfg.CPUs) * m.Cfg.LineWords),
+		lineW:    machine.Addr(m.Cfg.LineWords),
+	}
+}
+
+// Name implements rwlock.Lock.
+func (l *Basic) Name() string { return "RW-LE_basic" }
+
+func (l *Basic) clockAddr(id int) machine.Addr { return l.clocks + machine.Addr(id)*l.lineW }
+
+// Read implements rwlock.Lock (Algorithm 1, RWLE_READ_LOCK/UNLOCK).
+func (l *Basic) Read(t *htm.Thread, cs func()) {
+	t.St.ReadCS++
+	ca := l.clockAddr(t.C.ID)
+	t.Store(ca, t.Load(ca)+1) // enter critical section
+	t.C.Fence()               // make sure writers see reader
+	cs()
+	t.Store(ca, t.Load(ca)+1) // exit critical section
+	t.St.Commits[stats.CommitUninstrumented]++
+}
+
+// Write implements rwlock.Lock (Algorithm 1, RWLE_WRITE_LOCK/UNLOCK):
+// serialize writers on a spin lock, run the section in a transaction, then
+// suspend, quiesce, resume and commit. Failed transactions are blindly
+// retried.
+func (l *Basic) Write(t *htm.Thread, cs func()) {
+	t.St.WriteCS++
+	for {
+		spinAcquireWord(t, l.wlock)
+		released := false
+		st := t.Try(false, func() {
+			cs()
+			t.Suspend()
+			// We can already release the lock: another writer can at
+			// worst trigger an abort of the suspended transaction.
+			t.Store(l.wlock, 0)
+			released = true
+			l.synchronize(t)
+			t.Resume()
+		})
+		if st.OK {
+			t.St.Commits[stats.CommitHTM]++
+			return
+		}
+		// If the abort hit before the suspended (non-transactional)
+		// release, the lock is still ours and must be freed; if it hit at
+		// resume, the lock was already released and may belong to another
+		// writer by now.
+		if !released {
+			t.Store(l.wlock, 0)
+		}
+	}
+}
+
+// synchronize is the Algorithm 1 quiescence loop: snapshot all reader
+// clocks, then wait for every odd one to change.
+func (l *Basic) synchronize(t *htm.Thread) {
+	start := t.C.Now()
+	snap := make([]uint64, l.nthreads)
+	for i := 0; i < l.nthreads; i++ {
+		snap[i] = t.LoadStream(l.clockAddr(i))
+	}
+	for i := 0; i < l.nthreads; i++ {
+		if snap[i]&1 == 0 {
+			continue
+		}
+		poll := 1
+		for t.Load(l.clockAddr(i)) == snap[i] {
+			t.C.SpinFor(poll)
+			if poll < 32 {
+				poll *= 2
+			}
+		}
+	}
+	t.St.QuiesceWait += t.C.Now() - start
+}
+
+// spinAcquireWord acquires a test-and-test-and-set spin lock at word a.
+// (Duplicated from internal/locks to avoid an import cycle.)
+func spinAcquireWord(t *htm.Thread, a machine.Addr) {
+	var b spinBackoff
+	for {
+		if t.Load(a) == 0 && t.CAS(a, 0, 1) {
+			return
+		}
+		b.wait(t)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+)
+
+func benchSys(cpus int) *htm.System {
+	m := machine.New(machine.Config{CPUs: cpus, MemWords: 1 << 18, Seed: 1, Deadline: 1 << 62})
+	return htm.NewSystem(m, htm.Config{})
+}
+
+// BenchmarkReadAcquire measures RW-LE's read-side entry+exit: two clock
+// increments, one fence, one lock check — the "almost no overhead" claim.
+func BenchmarkReadAcquire(b *testing.B) {
+	sys := benchSys(1)
+	lock := New(sys, Opt())
+	b.ResetTimer()
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		for i := 0; i < b.N; i++ {
+			lock.Read(th, func() {})
+		}
+	})
+}
+
+// BenchmarkReadAcquireFair measures the fair variant's extra version copy.
+func BenchmarkReadAcquireFair(b *testing.B) {
+	sys := benchSys(1)
+	o := Opt()
+	o.Fair = true
+	lock := New(sys, o)
+	b.ResetTimer()
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		for i := 0; i < b.N; i++ {
+			lock.Read(th, func() {})
+		}
+	})
+}
+
+// BenchmarkWriteHTMPath measures an uncontended small write section
+// (HTM path incl. suspend + quiescence scan + resume + commit).
+func BenchmarkWriteHTMPath(b *testing.B) {
+	sys := benchSys(1)
+	lock := New(sys, Opt())
+	a := sys.M.AllocRawAligned(1)
+	b.ResetTimer()
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		for i := 0; i < b.N; i++ {
+			lock.Write(th, func() { th.Store(a, uint64(i)) })
+		}
+	})
+}
+
+// BenchmarkWriteROTPath measures the same section forced onto the ROT path
+// (pessimistic policy).
+func BenchmarkWriteROTPath(b *testing.B) {
+	sys := benchSys(1)
+	lock := New(sys, Pes())
+	a := sys.M.AllocRawAligned(1)
+	b.ResetTimer()
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		for i := 0; i < b.N; i++ {
+			lock.Write(th, func() { th.Store(a, uint64(i)) })
+		}
+	})
+}
+
+// BenchmarkQuiescenceScan measures RWLE_SYNCHRONIZE against 32 idle
+// reader clocks (the per-writer cost that grows with thread count).
+func BenchmarkQuiescenceScan(b *testing.B) {
+	sys := benchSys(32)
+	lock := New(sys, Opt())
+	a := sys.M.AllocRawAligned(1)
+	b.ResetTimer()
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		for i := 0; i < b.N; i++ {
+			lock.Write(th, func() { th.Store(a, uint64(i)) })
+		}
+	})
+}
+
+// BenchmarkReadersScale measures aggregate reader throughput at 8 threads
+// (should be ~8x BenchmarkReadAcquire's single-thread rate in virtual
+// time; wall time is what testing.B reports).
+func BenchmarkReadersScale(b *testing.B) {
+	sys := benchSys(8)
+	lock := New(sys, Opt())
+	iters := b.N/8 + 1
+	b.ResetTimer()
+	sys.M.Run(8, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < iters; i++ {
+			lock.Read(th, func() {})
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/rwlock"
+)
+
+// TestRealTimeOrdering checks the linearizability obligations of an elided
+// read-write lock over a monotonic counter:
+//
+//  1. a read critical section that STARTS after a write critical section
+//     RETURNED must observe that write (real-time order: once Write()
+//     returns, the update is durable and visible);
+//  2. each thread's observations are monotonic (a reader can never see the
+//     counter go backwards);
+//  3. two reads by the same thread bracket their session (read-your-writes
+//     for writers).
+//
+// These hold trivially for pessimistic locks; for RW-LE they depend on the
+// quiescence protocol committing before RWLE_WRITE_UNLOCK returns.
+func TestRealTimeOrdering(t *testing.T) {
+	schemes := map[string]func(*htm.System) rwlock.Lock{
+		"opt":   optLock,
+		"pes":   pesLock,
+		"fair":  fairLock,
+		"split": splitLock,
+	}
+	for name, mk := range schemes {
+		t.Run(name, func(t *testing.T) {
+			const threads = 8
+			sys := newSys(threads, 321)
+			lock := mk(sys)
+			ctr := sys.M.AllocRawAligned(1)
+
+			type obs struct {
+				start int64 // virtual time the section was entered (approx: call time)
+				val   uint64
+			}
+			var reads [threads][]obs
+			var writeDone []obs // (return time, value written)
+
+			sys.M.Run(threads, func(c *machine.CPU) {
+				th := sys.Thread(c.ID)
+				lastSeen := uint64(0)
+				for i := 0; i < 60; i++ {
+					if c.Intn(100) < 25 {
+						var wrote uint64
+						lock.Write(th, func() {
+							wrote = th.Load(ctr) + 1
+							th.Store(ctr, wrote)
+						})
+						// Write() returned: the value is committed.
+						writeDone = append(writeDone, obs{c.Now(), wrote})
+						if wrote < lastSeen {
+							t.Errorf("writer %d saw counter go backwards: %d after %d", c.ID, wrote, lastSeen)
+						}
+						lastSeen = wrote
+					} else {
+						start := c.Now()
+						var v uint64
+						lock.Read(th, func() { v = th.Load(ctr) })
+						reads[c.ID] = append(reads[c.ID], obs{start, v})
+						if v < lastSeen {
+							t.Errorf("thread %d monotonicity violated: read %d after seeing %d", c.ID, v, lastSeen)
+						}
+						lastSeen = v
+					}
+					c.Tick(int64(c.Intn(300)))
+				}
+			})
+
+			// Real-time order: every read that started after a write
+			// returned must see at least that write's value.
+			for id, robs := range reads {
+				for _, r := range robs {
+					for _, w := range writeDone {
+						if w.start < r.start && r.val < w.val {
+							t.Errorf("thread %d: read started at %d returned %d, but write of %d returned at %d",
+								id, r.start, r.val, w.val, w.start)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+// Path identifies which write-side synchronization path RW-LE is using,
+// in fallback order (paper Algorithm 2, function PATH).
+type Path int
+
+const (
+	// PathHTM: speculative execution as a regular hardware transaction,
+	// concurrent with readers and with other HTM writers.
+	PathHTM Path = iota
+	// PathROT: speculative execution as a rollback-only transaction,
+	// concurrent with readers but serialized against other writers.
+	PathROT
+	// PathNS: non-speculative execution under the global write lock.
+	PathNS
+)
+
+func (p Path) String() string {
+	switch p {
+	case PathHTM:
+		return "HTM"
+	case PathROT:
+		return "ROT"
+	default:
+		return "NS"
+	}
+}
+
+// pathSelector implements the paper's PATH() function: retry the current
+// path until its trial budget is exhausted (a persistent failure exhausts
+// it immediately), then fall back HTM → ROT → NS. A budget of zero skips
+// the path entirely, which is how the RW-LE_PES variant (ROT first) and
+// the ROT-less fairness configuration are expressed.
+type pathSelector struct {
+	maxHTM, maxROT int
+	path           Path
+	trials         int
+}
+
+// newPathSelector returns a selector positioned at the first enabled path.
+func newPathSelector(maxHTM, maxROT int) pathSelector {
+	s := pathSelector{maxHTM: maxHTM, maxROT: maxROT}
+	switch {
+	case maxHTM > 0:
+		s.path, s.trials = PathHTM, maxHTM
+	case maxROT > 0:
+		s.path, s.trials = PathROT, maxROT
+	default:
+		s.path, s.trials = PathNS, 1
+	}
+	return s
+}
+
+// current returns the path to attempt next.
+func (s *pathSelector) current() Path { return s.path }
+
+// failed records an unsuccessful attempt on the current path and advances
+// the selector. persistent indicates the abort cause will recur (capacity,
+// illegal instruction), making further retries on the same path futile.
+func (s *pathSelector) failed(persistent bool) {
+	if s.trials > 0 {
+		s.trials--
+	}
+	if persistent {
+		s.trials = 0
+	}
+	if s.trials > 0 {
+		return
+	}
+	switch s.path {
+	case PathHTM:
+		if s.maxROT > 0 {
+			s.path, s.trials = PathROT, s.maxROT
+			return
+		}
+		s.path, s.trials = PathNS, 1
+	case PathROT:
+		s.path, s.trials = PathNS, 1
+	case PathNS:
+		// NS always succeeds; stay for robustness.
+		s.trials = 1
+	}
+}

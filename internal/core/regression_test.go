@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+)
+
+// TestFairNoDeadlockRegression pins the fix for a deadlock in the fair
+// variant: a reader that raced its version publication against an NS
+// writer's quiescence scan would wait for the writer's release while the
+// writer waited for the reader's clock. The quiescence loop must therefore
+// re-evaluate the version filter on every iteration. This seed/schedule
+// reproduced the wedge deterministically before the fix.
+func TestFairNoDeadlockRegression(t *testing.T) {
+	m := machine.New(machine.Config{CPUs: 8, MemWords: 1 << 18, Seed: 210, Deadline: 200_000_000})
+	sys := htm.NewSystem(m, htm.Config{})
+	o := Opt()
+	o.Fair = true
+	lock := New(sys, o)
+	const k = 6
+	words := make([]machine.Addr, k)
+	for i := range words {
+		words[i] = m.AllocRawAligned(1)
+	}
+	m.Run(8, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < 120; i++ {
+			if c.Intn(100) < 10 {
+				lock.Write(th, func() {
+					v := th.Load(words[0]) + 1
+					for _, w := range words {
+						th.Store(w, v)
+					}
+				})
+			} else {
+				lock.Read(th, func() {
+					v0 := th.Load(words[0])
+					for _, w := range words[1:] {
+						if th.Load(w) != v0 {
+							t.Error("torn snapshot")
+						}
+					}
+				})
+			}
+			c.Tick(int64(c.Intn(200)))
+		}
+	})
+}

@@ -1,0 +1,508 @@
+// Package core implements RW-LE, the hardware read-write lock elision
+// algorithm of Felber, Issa, Matveev and Romano (EuroSys'16), on top of the
+// POWER8-style HTM model in internal/htm.
+//
+// The algorithm's essence (paper §3):
+//
+//   - Read-side critical sections execute with no speculation and no lock
+//     acquisition at all. Each reader only increments a per-thread clock on
+//     entry and exit (odd value = inside the critical section).
+//   - Write-side critical sections execute speculatively — first as regular
+//     hardware transactions (concurrent writers allowed, the global lock is
+//     eagerly subscribed), then as rollback-only transactions (serialized
+//     against other writers, but loads are untracked so read-capacity
+//     aborts disappear), and finally non-speculatively under the global
+//     lock.
+//   - Before making its speculative stores visible, a writer waits for all
+//     in-flight readers to leave their critical sections (an RCU-style
+//     quiescence loop over the reader clocks). An HTM writer runs the loop
+//     with the transaction *suspended*; a ROT writer runs it inline, since
+//     ROTs do not track loads. Any reader that touches the writer's write
+//     set meanwhile dooms the writer, so after quiescence it is safe to
+//     commit: the hardware publishes all stores atomically.
+//
+// Both writer-path policies evaluated in the paper are provided
+// (RW-LE_OPT = HTM then ROT, RW-LE_PES = ROT only), as are the fair
+// variant of §3.3 and the split-lock optimization that lets ROT and HTM
+// writers run concurrently.
+package core
+
+import (
+	"fmt"
+
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+// Lock states stored in the low two bits of the global lock word. The
+// remaining bits hold the version number used by the fair variant.
+const (
+	lockFree uint64 = 0
+	lockNS   uint64 = 1
+	lockROT  uint64 = 2
+
+	stateMask uint64 = 3
+	verShift         = 2
+)
+
+func state(v uint64) uint64   { return v & stateMask }
+func version(v uint64) uint64 { return v >> verShift }
+
+// Options selects an RW-LE variant.
+type Options struct {
+	// MaxHTM is the number of attempts on the regular-transaction path
+	// before falling back (the paper uses 5; 0 disables the path, giving
+	// the pessimistic variant).
+	MaxHTM int
+	// MaxROT is the number of attempts on the rollback-only path before
+	// falling back to the global lock (the paper uses 5; 0 disables ROTs,
+	// as in the fairness experiment).
+	MaxROT int
+	// Fair enables the §3.3 fair variant: the global lock carries a
+	// version number, readers record the version they entered under, and
+	// writers wait only for readers that entered before them — so readers
+	// cannot be overtaken indefinitely by a stream of writers.
+	Fair bool
+	// SplitLocks enables the optimization that separates the NS lock from
+	// the ROT lock, letting HTM writers subscribe the ROT lock lazily (at
+	// commit) and therefore run concurrently with a ROT writer.
+	SplitLocks bool
+	// Adaptive replaces the fixed MAX-HTM budget with a self-tuning
+	// controller (an extension in the spirit of the related work's
+	// self-tuning HTM [9]): capacity-bound workloads converge to the
+	// pessimistic ROT-first policy, conflict-free ones to long budgets.
+	Adaptive bool
+	// EarlyAbort makes a suspended HTM writer poll its own doom flag
+	// (POWER8 tcheck) during the quiescence loop and stop draining
+	// readers once the transaction cannot commit anyway — an extension
+	// the paper leaves on the table.
+	EarlyAbort bool
+	// Name overrides the reported scheme name.
+	Name string
+}
+
+// Opt returns the optimistic writer-path policy evaluated in the paper
+// (5 HTM attempts, then 5 ROT attempts, then the global lock), with the
+// unified lock word of Algorithm 2. The §3.3 split-lock optimization is
+// available via Options.SplitLocks; the "split" ablation in this
+// repository found the unified word *faster* under transient-abort storms
+// (an HTM writer discovers a ROT's lock eagerly at begin, instead of
+// wasting the whole section plus quiescence before the lazy subscription
+// fails) — see EXPERIMENTS.md.
+func Opt() Options { return Options{MaxHTM: 5, MaxROT: 5, Name: "RW-LE_OPT"} }
+
+// Pes returns the pessimistic policy (writers serialized from the start:
+// 5 ROT attempts, then the global lock).
+func Pes() Options { return Options{MaxHTM: 0, MaxROT: 5, Name: "RW-LE_PES"} }
+
+// RWLE is one elided read-write lock instance.
+type RWLE struct {
+	sys  *htm.System
+	opts Options
+
+	nthreads int
+	wlock    machine.Addr // global lock word (state + version)
+	rotLock  machine.Addr // separate ROT lock when SplitLocks
+	clocks   machine.Addr // per-thread clock lines
+	local    machine.Addr // per-thread local lock copies (fair variant)
+	lineW    machine.Addr
+
+	// nesting[i] tracks thread i's critical-section depth so read (and
+	// write) sections nest, per the paper's footnote 3. Host-side state,
+	// mutated only by the owning (token-holding) thread.
+	nesting []nestState
+	// adapt, when Options.Adaptive is set, tunes the HTM budget.
+	adapt *adaptiveController
+}
+
+// nestState tracks one thread's lock recursion.
+type nestState struct {
+	depth   int
+	writing bool
+}
+
+// New creates an RW-LE lock on the given HTM system. The lock's metadata
+// (global lock word, per-thread reader clocks) lives in simulated memory,
+// so subscription, quiescence scans and reader polling have honest
+// coherence costs and participate in conflict detection.
+func New(sys *htm.System, opts Options) *RWLE {
+	if opts.Fair && opts.SplitLocks {
+		panic("core: Fair and SplitLocks are mutually exclusive in this implementation")
+	}
+	m := sys.M
+	l := &RWLE{
+		sys:      sys,
+		opts:     opts,
+		nthreads: m.Cfg.CPUs,
+		lineW:    machine.Addr(m.Cfg.LineWords),
+	}
+	l.wlock = m.AllocRawAligned(1)
+	if opts.SplitLocks {
+		l.rotLock = m.AllocRawAligned(1)
+	}
+	l.clocks = m.AllocRawAligned(int64(l.nthreads) * m.Cfg.LineWords)
+	if opts.Fair {
+		l.local = m.AllocRawAligned(int64(l.nthreads) * m.Cfg.LineWords)
+	}
+	l.nesting = make([]nestState, l.nthreads)
+	if opts.Adaptive {
+		l.adapt = newAdaptiveController()
+	}
+	return l
+}
+
+// Name implements rwlock.Lock.
+func (l *RWLE) Name() string {
+	if l.opts.Name != "" {
+		return l.opts.Name
+	}
+	return fmt.Sprintf("RW-LE(htm=%d,rot=%d,fair=%v)", l.opts.MaxHTM, l.opts.MaxROT, l.opts.Fair)
+}
+
+func (l *RWLE) clockAddr(id int) machine.Addr { return l.clocks + machine.Addr(id)*l.lineW }
+func (l *RWLE) localAddr(id int) machine.Addr { return l.local + machine.Addr(id)*l.lineW }
+
+// Read executes cs as a read-side critical section: no lock acquisition,
+// no speculation — only the per-thread clock increments (paper Algorithm 2,
+// RWLE_READ_LOCK/RWLE_READ_UNLOCK, with the §3.3 fast-path optimization of
+// checking the lock after the increment).
+func (l *RWLE) Read(t *htm.Thread, cs func()) {
+	t.St.ReadCS++
+	// Nesting (paper footnote 3): a read section inside another read or
+	// write section of the same thread runs directly — the enclosing
+	// section's protection covers it.
+	ns := &l.nesting[t.C.ID]
+	if ns.depth > 0 {
+		ns.depth++
+		cs()
+		ns.depth--
+		t.St.Commits[stats.CommitUninstrumented]++
+		return
+	}
+	if l.opts.Fair {
+		l.readLockFair(t)
+	} else {
+		l.readLock(t)
+	}
+	ns.depth = 1
+	cs()
+	ns.depth = 0
+	// RWLE_READ_UNLOCK: leave the critical section (clock becomes even).
+	ca := l.clockAddr(t.C.ID)
+	t.Store(ca, t.Load(ca)+1)
+	t.St.Commits[stats.CommitUninstrumented]++
+}
+
+func (l *RWLE) readLock(t *htm.Thread) {
+	ca := l.clockAddr(t.C.ID)
+	for {
+		clk := t.Load(ca)
+		t.Store(ca, clk+1) // enter: odd
+		t.C.Fence()        // make sure writers see the reader
+		if state(t.Load(l.wlock)) != lockNS {
+			return
+		}
+		// A non-speculative writer is (or just went) active: defer to it
+		// and retry (paper lines 14-16).
+		t.Store(ca, clk+2)
+		poll := 1
+		for state(t.Load(l.wlock)) == lockNS {
+			t.C.SpinFor(poll)
+			if poll < 32 {
+				poll *= 2
+			}
+		}
+	}
+}
+
+// readLockFair is the §3.3 fair entry: the reader records the lock version
+// it entered under and, if the lock is busy, waits only for the *current*
+// owner — it cannot be overtaken by a stream of later writers.
+func (l *RWLE) readLockFair(t *htm.Thread) {
+	ca := l.clockAddr(t.C.ID)
+	la := l.localAddr(t.C.ID)
+	clk := t.Load(ca)
+	t.Store(ca, clk+1) // enter: odd
+	t.C.Fence()
+	v := t.Load(l.wlock)
+	t.Store(la, v) // publish the version we entered under
+	t.C.Fence()
+	if state(v) != lockNS {
+		return
+	}
+	// Wait for the current owner to release or hand over; readers that
+	// entered before a writer's version bump are waited for by that
+	// writer, so entering afterwards is safe.
+	poll := 1
+	for {
+		v2 := t.Load(l.wlock)
+		if state(v2) != lockNS || version(v2) != version(v) {
+			return
+		}
+		t.C.SpinFor(poll)
+		if poll < 8 {
+			poll *= 2
+		}
+	}
+}
+
+// Write executes cs as a write-side critical section, attempting the HTM,
+// ROT and NS paths in turn under the configured trial budgets (paper
+// Algorithm 2, RWLE_WRITE_LOCK/RWLE_WRITE_UNLOCK and PATH).
+func (l *RWLE) Write(t *htm.Thread, cs func()) {
+	t.St.WriteCS++
+	ns := &l.nesting[t.C.ID]
+	if ns.depth > 0 {
+		if !ns.writing {
+			panic("core: write section nested inside a read section (lock upgrade is a deadlock)")
+		}
+		ns.depth++
+		cs()
+		ns.depth--
+		return
+	}
+	maxHTM := l.opts.MaxHTM
+	if l.adapt != nil {
+		maxHTM = l.adapt.Budget()
+	}
+	sel := newPathSelector(maxHTM, l.opts.MaxROT)
+	htmTried := false
+	enter := func() { ns.depth, ns.writing = 1, true }
+	leave := func() { ns.depth, ns.writing = 0, false }
+	for {
+		switch sel.current() {
+		case PathHTM:
+			htmTried = true
+			enter()
+			st := l.writeHTM(t, cs)
+			leave()
+			if st.OK {
+				t.St.Commits[stats.CommitHTM]++
+				l.recordAdapt(htmTried, true)
+				return
+			}
+			sel.failed(st.Persistent)
+		case PathROT:
+			enter()
+			st := l.writeROT(t, cs)
+			leave()
+			if st.OK {
+				t.St.Commits[stats.CommitROT]++
+				l.recordAdapt(htmTried, false)
+				return
+			}
+			sel.failed(st.Persistent)
+		case PathNS:
+			enter()
+			l.writeNS(t, cs)
+			leave()
+			t.St.Commits[stats.CommitSGL]++
+			l.recordAdapt(htmTried, false)
+			return
+		}
+	}
+}
+
+// recordAdapt feeds the adaptive controller, when enabled.
+func (l *RWLE) recordAdapt(htmTried, htmWon bool) {
+	if l.adapt != nil {
+		l.adapt.record(htmTried, htmWon)
+	}
+}
+
+// writeHTM attempts the critical section as a regular hardware transaction:
+// eager subscription of the global lock, then — at unlock — suspend,
+// quiesce readers, resume, commit (paper lines 41-46 and 68-72).
+func (l *RWLE) writeHTM(t *htm.Thread, cs func()) htm.Status {
+	// Let non-HTM writers finish before starting speculation (line 42).
+	var b spinBackoff
+	for state(t.Load(l.wlock)) != lockFree {
+		b.wait(t)
+	}
+	return t.Try(false, func() {
+		if state(t.Load(l.wlock)) != lockFree { // subscribe (line 44)
+			t.Abort(stats.AbortLockBusy)
+		}
+		cs()
+		if l.opts.SplitLocks {
+			// Lazy subscription of the ROT lock: only at commit time, so
+			// an HTM writer can overlap a ROT writer's critical section.
+			if state(t.Load(l.rotLock)) != lockFree {
+				t.Abort(stats.AbortLockBusy)
+			}
+		}
+		t.Suspend()
+		l.synchronize(t, false, noVerFilter)
+		t.Resume()
+		// Try commits on return: the hardware write-back is atomic.
+	})
+}
+
+// doomedEarly reports whether the EarlyAbort extension should cut the
+// quiescence loop short: the suspended transaction is already doomed
+// (tcheck), so draining further readers is wasted time — the abort will
+// fire at Resume regardless.
+func (l *RWLE) doomedEarly(t *htm.Thread) bool {
+	return l.opts.EarlyAbort && t.Suspended() && t.Doomed()
+}
+
+// writeROT attempts the critical section as a rollback-only transaction.
+// ROTs cannot run concurrently with one another (their loads are
+// untracked), so the path first acquires the writer lock; readers still
+// run concurrently and the quiescence loop runs inline before commit —
+// no suspend/resume needed since loads are invisible anyway (lines 47-54
+// and 64-67).
+func (l *RWLE) writeROT(t *htm.Thread, cs func()) htm.Status {
+	lockWord := l.wlock
+	if l.opts.SplitLocks {
+		lockWord = l.rotLock
+	}
+	myVer := l.acquire(t, lockWord, lockROT)
+	st := t.Try(true, func() {
+		cs()
+		l.synchronize(t, false, l.verFilter(myVer))
+	})
+	// Release the writer lock whether the ROT committed or aborted
+	// (paper lines 53 and 67).
+	t.Store(lockWord, myVer<<verShift|lockFree)
+	return st
+}
+
+// writeNS executes the critical section non-speculatively under the global
+// lock: acquire, drain readers, run, release (paper lines 55-60 and 62-63).
+func (l *RWLE) writeNS(t *htm.Thread, cs func()) {
+	myVer := l.acquire(t, l.wlock, lockNS)
+	if l.opts.SplitLocks {
+		// Serialize against a concurrent ROT writer.
+		l.acquire(t, l.rotLock, lockNS)
+	}
+	l.synchronize(t, true, l.verFilter(myVer))
+	cs()
+	if l.opts.SplitLocks {
+		t.Store(l.rotLock, lockFree)
+	}
+	t.Store(l.wlock, myVer<<verShift|lockFree)
+}
+
+// acquire spins until it installs `to` in the state bits of the lock word,
+// bumping the version, and returns the new version (the fair variant uses
+// it to skip readers that entered later; others carry it harmlessly).
+func (l *RWLE) acquire(t *htm.Thread, word machine.Addr, to uint64) uint64 {
+	var b spinBackoff
+	for {
+		v := t.Load(word)
+		if state(v) == lockFree {
+			next := version(v) + 1
+			if t.CAS(word, v, next<<verShift|to) {
+				return next
+			}
+		}
+		b.wait(t)
+	}
+}
+
+// spinBackoff is a bounded randomized exponential backoff for contended
+// acquisition loops; without it a cohort of deterministic spinners can
+// systematically exclude one contender (see internal/locks for the same
+// pattern).
+type spinBackoff struct{ shift uint }
+
+func (b *spinBackoff) wait(t *htm.Thread) {
+	t.C.SpinFor(1 + t.C.Intn(1<<b.shift))
+	if b.shift < 8 {
+		b.shift++
+	}
+}
+
+// noVerFilter disables version filtering in synchronize: every in-flight
+// reader is drained. HTM-path writers never hold a version, so they always
+// use it.
+const noVerFilter = ^uint64(0)
+
+// verFilter returns the quiescence version filter for a lock-holding
+// writer: its own version under the fair variant, no filtering otherwise.
+func (l *RWLE) verFilter(myVer uint64) uint64 {
+	if l.opts.Fair {
+		return myVer
+	}
+	return noVerFilter
+}
+
+// synchronize is the RCU-like quiescence barrier (paper RWLE_SYNCHRONIZE):
+// wait until every reader that was inside a critical section when we
+// scanned has left it. singlePass applies the §3.3 optimization for the
+// NS path, where new readers are blocked by the lock so one traversal
+// suffices. In the fair variant, writers that hold a version skip readers
+// that entered at or after their own version.
+func (l *RWLE) synchronize(t *htm.Thread, singlePass bool, myVer uint64) {
+	start := t.C.Now()
+	t.C.Emit(machine.EvQuiesceStart, 0, 0)
+	if singlePass {
+		for i := 0; i < l.nthreads; i++ {
+			l.waitReader(t, i, myVer)
+		}
+	} else {
+		snap := make([]uint64, l.nthreads)
+		for i := 0; i < l.nthreads; i++ {
+			snap[i] = t.LoadStream(l.clockAddr(i))
+		}
+		for i := 0; i < l.nthreads; i++ {
+			if snap[i]&1 == 0 {
+				continue
+			}
+			poll := 1
+			for t.Load(l.clockAddr(i)) == snap[i] {
+				// Version filter (fair variant), re-checked every
+				// iteration: a reader that published a version at or
+				// after ours is either blocked on our lock or entered
+				// later and is covered by conflict detection — but its
+				// publication may race with our clock sample, so a
+				// one-shot check before the loop would deadlock with a
+				// reader that is waiting for us to release.
+				if myVer != noVerFilter && !l.readerIsOlder(t, i, myVer) {
+					break
+				}
+				if l.doomedEarly(t) {
+					t.St.QuiesceWait += t.C.Now() - start
+					return
+				}
+				t.C.SpinFor(poll)
+				if poll < 16 {
+					poll *= 2
+				}
+			}
+		}
+	}
+	t.St.QuiesceWait += t.C.Now() - start
+	t.C.Emit(machine.EvQuiesceEnd, 0, uint64(t.C.Now()-start))
+}
+
+// waitReader waits for thread i to leave its current read critical section
+// (single-traversal form: re-reads the clock directly).
+func (l *RWLE) waitReader(t *htm.Thread, i int, myVer uint64) {
+	c := t.LoadStream(l.clockAddr(i))
+	if c&1 == 0 {
+		return
+	}
+	poll := 1
+	for t.Load(l.clockAddr(i)) == c {
+		// See synchronize: the version filter must be re-evaluated inside
+		// the loop or a reader racing its version publication against our
+		// scan would deadlock with us.
+		if myVer != noVerFilter && !l.readerIsOlder(t, i, myVer) {
+			return
+		}
+		t.C.SpinFor(poll)
+		if poll < 32 {
+			poll *= 2
+		}
+	}
+}
+
+// readerIsOlder reports whether reader i entered under a version strictly
+// smaller than ver — i.e. before this writer acquired the lock — and must
+// therefore be drained.
+func (l *RWLE) readerIsOlder(t *htm.Thread, i int, ver uint64) bool {
+	return version(t.Load(l.localAddr(i))) < ver
+}

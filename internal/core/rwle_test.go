@@ -1,0 +1,406 @@
+package core
+
+import (
+	"testing"
+
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/rwlock"
+	"hrwle/internal/stats"
+)
+
+func newSys(cpus int, seed uint64) *htm.System {
+	m := machine.New(machine.Config{CPUs: cpus, MemWords: 1 << 18, Seed: seed})
+	return htm.NewSystem(m, htm.Config{})
+}
+
+// snapshotWorkload runs the canonical consistency stress for a lock scheme:
+// writers set K words (on distinct cache lines) to one monotonically
+// increasing value; readers assert all K words are equal — the invariant
+// the paper's Figure 1 shows is violated without quiescence.
+func snapshotWorkload(t *testing.T, mk func(*htm.System) rwlock.Lock, threads, iters, writePct int, seed uint64) {
+	t.Helper()
+	const k = 6
+	sys := newSys(threads, seed)
+	lock := mk(sys)
+	words := make([]machine.Addr, k)
+	for i := range words {
+		words[i] = sys.M.AllocRawAligned(1)
+	}
+	var inconsistencies, writes int
+	sys.M.Run(threads, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < iters; i++ {
+			if c.Intn(100) < writePct {
+				lock.Write(th, func() {
+					v := th.Load(words[0]) + 1
+					for _, w := range words {
+						th.Store(w, v)
+					}
+				})
+				writes++
+			} else {
+				lock.Read(th, func() {
+					v0 := th.Load(words[0])
+					for _, w := range words[1:] {
+						if th.Load(w) != v0 {
+							inconsistencies++
+						}
+					}
+				})
+			}
+			c.Tick(int64(c.Intn(200)))
+		}
+	})
+	if inconsistencies > 0 {
+		t.Errorf("%s: %d torn snapshots observed", lock.Name(), inconsistencies)
+	}
+	// Writers must not lose updates: the final value counts committed
+	// write sections exactly (each write increments by one, serialized).
+	if got := sys.M.Peek(words[0]); got != uint64(writes) {
+		t.Errorf("%s: final value %d, want %d (lost or duplicated updates)", lock.Name(), got, writes)
+	}
+	for _, w := range words[1:] {
+		if sys.M.Peek(w) != sys.M.Peek(words[0]) {
+			t.Errorf("%s: final state torn", lock.Name())
+		}
+	}
+}
+
+func optLock(s *htm.System) rwlock.Lock { return New(s, Opt()) }
+func pesLock(s *htm.System) rwlock.Lock { return New(s, Pes()) }
+func fairLock(s *htm.System) rwlock.Lock {
+	o := Opt()
+	o.Fair = true
+	o.Name = "RW-LE_FAIR"
+	return New(s, o)
+}
+func splitLock(s *htm.System) rwlock.Lock { o := Opt(); o.SplitLocks = true; return New(s, o) }
+func basicLock(s *htm.System) rwlock.Lock { return NewBasic(s) }
+
+func TestSnapshotConsistencyOpt(t *testing.T) {
+	for _, wp := range []int{10, 50, 90} {
+		snapshotWorkload(t, optLock, 8, 120, wp, uint64(wp))
+	}
+}
+
+func TestSnapshotConsistencyPes(t *testing.T) {
+	for _, wp := range []int{10, 50, 90} {
+		snapshotWorkload(t, pesLock, 8, 120, wp, uint64(wp)+100)
+	}
+}
+
+func TestSnapshotConsistencyFair(t *testing.T) {
+	for _, wp := range []int{10, 50, 90} {
+		snapshotWorkload(t, fairLock, 8, 120, wp, uint64(wp)+200)
+	}
+}
+
+func TestSnapshotConsistencySplitLocks(t *testing.T) {
+	for _, wp := range []int{10, 50, 90} {
+		snapshotWorkload(t, splitLock, 8, 120, wp, uint64(wp)+300)
+	}
+}
+
+func TestSnapshotConsistencyBasic(t *testing.T) {
+	for _, wp := range []int{10, 50} {
+		snapshotWorkload(t, basicLock, 6, 80, wp, uint64(wp)+400)
+	}
+}
+
+func TestSnapshotConsistencyManyThreads(t *testing.T) {
+	snapshotWorkload(t, optLock, 32, 40, 20, 5)
+}
+
+func TestSnapshotConsistencyManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		snapshotWorkload(t, optLock, 8, 60, 30, seed)
+		snapshotWorkload(t, pesLock, 8, 60, 30, seed+50)
+	}
+}
+
+func TestReadersDoNotBlockOnSpeculativeWriter(t *testing.T) {
+	// A reader whose critical section overlaps a (disjoint) speculative
+	// writer must finish without waiting: strong reader progress is the
+	// point of RW-LE. The writer, by contrast, must quiesce until the
+	// reader leaves.
+	sys := newSys(2, 1)
+	lock := New(sys, Opt())
+	x := sys.M.AllocRawAligned(1)
+	y := sys.M.AllocRawAligned(1)
+	var readerDone, writerDone int64
+	sys.M.Run(2, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		if c.ID == 0 {
+			lock.Read(th, func() {
+				th.Load(y)
+				c.Tick(50_000) // long read CS
+			})
+			readerDone = c.Now()
+		} else {
+			c.Tick(5_000) // start mid-read
+			lock.Write(th, func() {
+				th.Store(x, 1)
+			})
+			writerDone = c.Now()
+		}
+	})
+	if readerDone > 52_000+5_000 {
+		t.Errorf("reader finished at %d: it blocked on the writer", readerDone)
+	}
+	if writerDone < 50_000 {
+		t.Errorf("writer finished at %d, before the reader left at ~50k: quiescence skipped", writerDone)
+	}
+	if sys.M.Peek(x) != 1 {
+		t.Error("write lost")
+	}
+}
+
+func TestWriterHTMPathUsedWhenSmall(t *testing.T) {
+	sys := newSys(4, 2)
+	lock := New(sys, Opt())
+	a := sys.M.AllocRawAligned(1)
+	sys.M.Run(4, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < 25; i++ {
+			lock.Write(th, func() { th.Store(a, th.Load(a)+1) })
+			c.Tick(int64(c.Intn(500)))
+		}
+	})
+	b := stats.Merge(sys.Stats(4), 0)
+	if b.Commits[stats.CommitHTM] == 0 {
+		t.Error("no HTM commits for small uncontended writes")
+	}
+	if sys.M.Peek(a) != 100 {
+		t.Errorf("counter = %d, want 100", sys.M.Peek(a))
+	}
+}
+
+func TestWriterFallsBackToROTOnCapacity(t *testing.T) {
+	// Critical sections that read far beyond the HTM budget but write
+	// little must commit via ROT, not the global lock.
+	m := machine.New(machine.Config{CPUs: 2, MemWords: 1 << 18, Seed: 3})
+	sys := htm.NewSystem(m, htm.Config{ReadCapLines: 16, WriteCapLines: 64})
+	lock := New(sys, Opt())
+	arr := sys.M.AllocRawAligned(int64(64) * m.Cfg.LineWords)
+	sys.M.Run(2, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < 10; i++ {
+			lock.Write(th, func() {
+				var s uint64
+				for j := int64(0); j < 64; j++ { // 64 lines read > 16 budget
+					s += th.Load(arr + machine.Addr(j*16))
+				}
+				th.Store(arr, s+1)
+			})
+		}
+	})
+	b := stats.Merge(sys.Stats(2), 0)
+	if b.Commits[stats.CommitROT] == 0 {
+		t.Errorf("expected ROT commits, breakdown: %v", b.Commits)
+	}
+	if b.Commits[stats.CommitSGL] != 0 {
+		t.Errorf("fell through to global lock: %v", b.Commits)
+	}
+	if b.Aborts[stats.AbortCapacity] == 0 {
+		t.Error("expected HTM capacity aborts to trigger the fallback")
+	}
+}
+
+func TestWriterFallsBackToNSOnWriteCapacity(t *testing.T) {
+	// Sections that WRITE beyond the budget exceed even ROT capacity and
+	// must complete non-speculatively.
+	m := machine.New(machine.Config{CPUs: 2, MemWords: 1 << 18, Seed: 3})
+	sys := htm.NewSystem(m, htm.Config{ReadCapLines: 16, WriteCapLines: 8})
+	lock := New(sys, Opt())
+	arr := sys.M.AllocRawAligned(int64(32) * m.Cfg.LineWords)
+	sys.M.Run(2, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < 5; i++ {
+			lock.Write(th, func() {
+				for j := int64(0); j < 32; j++ {
+					th.Store(arr+machine.Addr(j*16), uint64(i))
+				}
+			})
+		}
+	})
+	b := stats.Merge(sys.Stats(2), 0)
+	if b.Commits[stats.CommitSGL] != 10 {
+		t.Errorf("SGL commits = %d, want 10: %v", b.Commits[stats.CommitSGL], b.Commits)
+	}
+	if b.Aborts[stats.AbortROTCapacity] == 0 {
+		t.Error("expected ROT capacity aborts on the way down")
+	}
+}
+
+func TestPesNeverUsesHTMPath(t *testing.T) {
+	sys := newSys(4, 9)
+	lock := New(sys, Pes())
+	a := sys.M.AllocRawAligned(1)
+	sys.M.Run(4, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < 20; i++ {
+			lock.Write(th, func() { th.Store(a, th.Load(a)+1) })
+		}
+	})
+	b := stats.Merge(sys.Stats(4), 0)
+	if b.Commits[stats.CommitHTM] != 0 {
+		t.Errorf("PES variant committed via HTM: %v", b.Commits)
+	}
+	if b.Commits[stats.CommitROT] == 0 {
+		t.Error("PES variant never used ROT")
+	}
+	if got := sys.M.Peek(a); got != 80 {
+		t.Errorf("counter = %d, want 80", got)
+	}
+}
+
+func TestReaderSeesCommittedWrite(t *testing.T) {
+	sys := newSys(2, 4)
+	lock := New(sys, Opt())
+	a := sys.M.AllocRawAligned(1)
+	var seen uint64
+	sys.M.Run(2, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		if c.ID == 0 {
+			lock.Write(th, func() { th.Store(a, 42) })
+		} else {
+			c.Tick(200_000) // well after the writer
+			lock.Read(th, func() { seen = th.Load(a) })
+		}
+	})
+	if seen != 42 {
+		t.Errorf("reader saw %d, want 42", seen)
+	}
+}
+
+func TestFairReaderNotStarvedByWriterStream(t *testing.T) {
+	// With ROTs disabled (as in the paper's fairness experiment) and a
+	// steady stream of NS writers, the fair variant must admit readers in
+	// bounded time (after at most the current owner), while counting on
+	// version filtering for its quiescence.
+	mk := func(fair bool) int64 {
+		sys := newSys(4, 11)
+		opts := Options{MaxHTM: 0, MaxROT: 0, Fair: fair} // NS-only writers
+		lock := New(sys, opts)
+		a := sys.M.AllocRawAligned(1)
+		var readerEntered int64 = -1
+		sys.M.Run(4, func(c *machine.CPU) {
+			th := sys.Thread(c.ID)
+			if c.ID == 0 {
+				c.Tick(1000)
+				lock.Read(th, func() {
+					readerEntered = c.Now()
+					th.Load(a)
+				})
+			} else {
+				for i := 0; i < 40; i++ {
+					lock.Write(th, func() {
+						th.Store(a, th.Load(a)+1)
+						c.Tick(2000) // long write CS
+					})
+				}
+			}
+		})
+		if sys.M.Peek(a) != 120 {
+			t.Errorf("writes lost: %d", sys.M.Peek(a))
+		}
+		return readerEntered
+	}
+	fair := mk(true)
+	unfair := mk(false)
+	if fair < 0 || unfair < 0 {
+		t.Fatal("reader never entered")
+	}
+	if fair > unfair {
+		t.Errorf("fair variant admitted reader at %d, unfair at %d: fairness regressed", fair, unfair)
+	}
+}
+
+func TestQuiesceWaitRecorded(t *testing.T) {
+	sys := newSys(2, 6)
+	lock := New(sys, Opt())
+	x := sys.M.AllocRawAligned(1)
+	sys.M.Run(2, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		if c.ID == 0 {
+			lock.Read(th, func() { c.Tick(30_000) })
+		} else {
+			c.Tick(3_000)
+			lock.Write(th, func() { th.Store(x, 1) })
+		}
+	})
+	if sys.Thread(1).St.QuiesceWait < 20_000 {
+		t.Errorf("QuiesceWait = %d, want >= 20000", sys.Thread(1).St.QuiesceWait)
+	}
+}
+
+func TestPathSelector(t *testing.T) {
+	cases := []struct {
+		name           string
+		maxHTM, maxROT int
+		events         []bool // persistent flag per failure
+		want           []Path // path before each failure, then after all
+	}{
+		{"opt transient walk", 2, 2, []bool{false, false, false, false},
+			[]Path{PathHTM, PathHTM, PathROT, PathROT, PathNS}},
+		{"persistent skips retries", 2, 2, []bool{true, true},
+			[]Path{PathHTM, PathROT, PathNS}},
+		{"pes starts at ROT", 0, 2, []bool{false, false},
+			[]Path{PathROT, PathROT, PathNS}},
+		{"no speculative paths", 0, 0, nil, []Path{PathNS}},
+		{"rot disabled goes straight to NS", 2, 0, []bool{false, true},
+			[]Path{PathHTM, PathHTM, PathNS}},
+	}
+	for _, tc := range cases {
+		s := newPathSelector(tc.maxHTM, tc.maxROT)
+		for i, persistent := range tc.events {
+			if got := s.current(); got != tc.want[i] {
+				t.Errorf("%s: step %d path = %v, want %v", tc.name, i, got, tc.want[i])
+			}
+			s.failed(persistent)
+		}
+		if got := s.current(); got != tc.want[len(tc.want)-1] {
+			t.Errorf("%s: final path = %v, want %v", tc.name, got, tc.want[len(tc.want)-1])
+		}
+	}
+}
+
+func TestDeterministicStats(t *testing.T) {
+	run := func() stats.Breakdown {
+		sys := newSys(8, 77)
+		lock := New(sys, Opt())
+		a := sys.M.AllocRawAligned(1)
+		cycles := sys.M.Run(8, func(c *machine.CPU) {
+			th := sys.Thread(c.ID)
+			for i := 0; i < 50; i++ {
+				if c.Intn(10) == 0 {
+					lock.Write(th, func() { th.Store(a, th.Load(a)+1) })
+				} else {
+					lock.Read(th, func() { th.Load(a) })
+				}
+			}
+		})
+		return stats.Merge(sys.Stats(8), cycles)
+	}
+	b1, b2 := run(), run()
+	if b1 != b2 {
+		t.Errorf("nondeterministic stats:\n%+v\n%+v", b1, b2)
+	}
+}
+
+func TestNameReporting(t *testing.T) {
+	sys := newSys(1, 1)
+	if got := New(sys, Opt()).Name(); got != "RW-LE_OPT" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := New(sys, Pes()).Name(); got != "RW-LE_PES" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := New(sys, Options{MaxHTM: 1, MaxROT: 2}).Name(); got == "" {
+		t.Error("empty default name")
+	}
+}

@@ -1,0 +1,12 @@
+package harness
+
+// ApplicationFigures returns Figs. 8-10 (STMBench7, Kyoto Cabinet, TPC-C).
+// The individual runners live next to their applications and are appended
+// here as they register.
+func ApplicationFigures() []*FigureSpec {
+	return appFigures
+}
+
+var appFigures []*FigureSpec
+
+func registerAppFigure(f *FigureSpec) { appFigures = append(appFigures, f) }

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	figs := Registry()
+	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "retries", "split"} {
+		f, ok := figs[id]
+		if !ok {
+			t.Fatalf("figure %s missing from registry", id)
+		}
+		if f.Title == "" || f.Point == nil || len(f.Schemes) == 0 || len(f.Threads) == 0 || len(f.WritePcts) == 0 {
+			t.Errorf("figure %s incompletely specified", id)
+		}
+	}
+}
+
+func TestSchemeFactoryNames(t *testing.T) {
+	for _, name := range []string{"RW-LE_OPT", "RW-LE_PES", "RW-LE_FAIR", "RW-LE_SPLIT", "RW-LE_basic", "HLE", "BRLock", "RWL", "SGL"} {
+		if SchemeFactory(name) == nil {
+			t.Errorf("no factory for %s", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown scheme did not panic")
+		}
+	}()
+	SchemeFactory("nope")
+}
+
+// TestEveryFigurePointRuns exercises one tiny point of every figure with
+// every scheme — an end-to-end integration test of the whole stack.
+func TestEveryFigurePointRuns(t *testing.T) {
+	figs := Registry()
+	for _, id := range SortedIDs(figs) {
+		f := figs[id]
+		for _, scheme := range f.Schemes {
+			r := f.Point(scheme, 2, f.WritePcts[0], 0.01)
+			if r.Cycles <= 0 {
+				t.Errorf("%s/%s: no virtual time elapsed", id, scheme)
+			}
+			if r.B.Ops <= 0 {
+				t.Errorf("%s/%s: no operations completed", id, scheme)
+			}
+		}
+	}
+}
+
+func TestPointDeterminism(t *testing.T) {
+	f := Registry()["fig3"]
+	a := f.Point("RW-LE_OPT", 4, 10, 0.02)
+	b := f.Point("RW-LE_OPT", 4, 10, 0.02)
+	if a.Cycles != b.Cycles || a.B != b.B {
+		t.Errorf("same point differs across runs: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestRunAndPrint(t *testing.T) {
+	f := Registry()["fig3"]
+	spec := *f
+	spec.Threads = []int{2}
+	spec.WritePcts = []int{10}
+	spec.Schemes = []string{"RW-LE_OPT", "SGL"}
+	results := spec.Run(0.01, nil)
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	var sb strings.Builder
+	Print(&sb, &spec, results)
+	out := sb.String()
+	for _, want := range []string{"fig3", "RW-LE_OPT", "SGL", "abort breakdown", "commit breakdown"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed figure missing %q", want)
+		}
+	}
+}
+
+func TestRWLEBeatsHLEOnCapacityWorkload(t *testing.T) {
+	// The paper's headline claim at one representative point: fig. 3
+	// (high capacity, high contention), read-dominated, 8 threads.
+	f := Registry()["fig3"]
+	rwle := f.Point("RW-LE_OPT", 8, 10, 0.1)
+	hle := f.Point("HLE", 8, 10, 0.1)
+	if rwle.Cycles >= hle.Cycles {
+		t.Errorf("RW-LE (%d cycles) not faster than HLE (%d cycles) on the capacity workload", rwle.Cycles, hle.Cycles)
+	}
+}

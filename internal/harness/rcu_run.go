@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/rcu"
+	"hrwle/internal/stats"
+)
+
+// RunRCUHashmap measures the tailored-code RCU hashmap on the sensitivity
+// workload, for comparison against lock-based schemes running the
+// unmodified hashmap (the paper's §2 point: RCU is the performance
+// yardstick that demands per-structure surgery; RW-LE chases it with none).
+func RunRCUHashmap(p HashmapParams) Result {
+	m := machine.New(machine.Config{
+		CPUs:     p.Threads,
+		MemWords: p.memWords(),
+		Seed:     p.Seed,
+		Paging:   p.Paging,
+	})
+	sys := htm.NewSystem(m, p.HTM)
+	d := rcu.NewDomain(m)
+	h := rcu.NewMap(m, d, p.Buckets)
+	h.Populate(p.Items)
+
+	universe := int(p.Buckets * p.Items)
+	opsPerThread := p.TotalOps / p.Threads
+	if opsPerThread == 0 {
+		opsPerThread = 1
+	}
+	cycles := m.Run(p.Threads, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < opsPerThread; i++ {
+			key := uint64(c.Intn(universe))
+			if c.Intn(100) < p.WritePct {
+				if c.Intn(2) == 0 {
+					h.Insert(th, key, key)
+				} else {
+					h.Remove(th, key)
+				}
+			} else {
+				h.Lookup(th, key)
+			}
+			th.St.Ops++
+		}
+	})
+	return Result{Cycles: cycles, B: stats.Merge(sys.Stats(p.Threads), cycles)}
+}
+
+func rcuFigure() *FigureSpec {
+	f := &FigureSpec{
+		ID:        "ext-rcu",
+		Title:     "Extension: tailored-code RCU hashmap vs unmodified hashmap under RW-LE / RWL",
+		Schemes:   []string{"RCU", "RW-LE_OPT", "RW-LE_PES", "RWL"},
+		Threads:   []int{2, 8, 32, 80},
+		WritePcts: []int{1, 10, 50},
+		TimeLabel: "execution time (s)",
+	}
+	f.Point = func(scheme string, threads, writePct int, scale float64) Result {
+		p := HashmapParams{
+			Buckets: lowContentionBuckets, Items: 50, WritePct: writePct,
+			Threads: threads, TotalOps: int(16000 * scale),
+			Seed: uint64(23000 + threads*13 + writePct),
+		}
+		if scheme == "RCU" {
+			return RunRCUHashmap(p)
+		}
+		return RunHashmap(p, SchemeFactory(scheme))
+	}
+	return f
+}

@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"hrwle/internal/core"
+	"hrwle/internal/htm"
+	"hrwle/internal/rwlock"
+)
+
+// newCoreLock builds an RW-LE variant with explicit budgets; used by the
+// fairness and ablation figures.
+func newCoreLock(s *htm.System, maxHTM, maxROT int, fair bool, name string) rwlock.Lock {
+	return core.New(s, core.Options{MaxHTM: maxHTM, MaxROT: maxROT, Fair: fair, Name: name})
+}
+
+// Registry returns every figure this repository can regenerate, keyed by ID.
+func Registry() map[string]*FigureSpec {
+	figs := map[string]*FigureSpec{}
+	for _, f := range SensitivityFigures() {
+		figs[f.ID] = f
+	}
+	for _, f := range []*FigureSpec{FairnessFigure(), RetriesFigure(), SplitFigure()} {
+		figs[f.ID] = f
+	}
+	for _, f := range ApplicationFigures() {
+		figs[f.ID] = f
+	}
+	for _, f := range ExtensionFigures() {
+		figs[f.ID] = f
+	}
+	return figs
+}

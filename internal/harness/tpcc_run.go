@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/rwlock"
+	"hrwle/internal/stats"
+	"hrwle/internal/tpcc"
+)
+
+// RunTPCC measures one Fig. 10 point: the TPC-C mix with writePct% update
+// transactions over an in-memory store.
+func RunTPCC(threads, writePct, totalOps int, seed uint64, mk rwlock.Factory) Result {
+	cfg := tpcc.DefaultConfig()
+	m := machine.New(machine.Config{
+		CPUs:     threads,
+		MemWords: cfg.MemWords(int64(totalOps)),
+		Seed:     seed,
+	})
+	sys := htm.NewSystem(m, htm.Config{})
+	lock := mk(sys)
+	db := tpcc.Build(m, cfg)
+	wl := &tpcc.Workload{DB: db, WritePct: writePct}
+
+	opsPerThread := totalOps / threads
+	if opsPerThread == 0 {
+		opsPerThread = 1
+	}
+	cycles := m.Run(threads, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < opsPerThread; i++ {
+			wl.Step(lock, th, c)
+		}
+	})
+	return Result{Cycles: cycles, B: stats.Merge(sys.Stats(threads), cycles)}
+}
+
+// tpccFigure reports speedup relative to SGL at one thread (the paper's
+// Fig. 10 normalization: absolute throughput collapses by over an order of
+// magnitude across the write mixes, hindering visualization).
+func tpccFigure() *FigureSpec {
+	baseline := map[int]float64{} // writePct → SGL@1 ops/s
+	f := &FigureSpec{
+		ID:        "fig10",
+		Title:     "TPC-C: speedup vs SGL at 1 thread",
+		Schemes:   []string{"RW-LE_OPT", "RW-LE_PES", "HLE", "BRLock", "RWL", "SGL"},
+		Threads:   []int{1, 4, 8, 16, 32, 64, 80},
+		WritePcts: []int{1, 10, 50},
+		TimeLabel: "speedup vs SGL@1 thread",
+	}
+	f.Point = func(scheme string, threads, writePct int, scale float64) Result {
+		ops := int(3000 * scale)
+		if _, ok := baseline[writePct]; !ok {
+			base := RunTPCC(1, writePct, ops, uint64(15000+writePct), SchemeFactory("SGL"))
+			baseline[writePct] = base.Throughput()
+		}
+		r := RunTPCC(threads, writePct, ops, uint64(15000+threads*13+writePct), SchemeFactory(scheme))
+		if b := baseline[writePct]; b > 0 {
+			r.Speedup = r.Throughput() / b
+		}
+		return r
+	}
+	return f
+}
+
+func init() { registerAppFigure(tpccFigure()) }

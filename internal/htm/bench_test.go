@@ -1,0 +1,77 @@
+package htm
+
+import (
+	"testing"
+
+	"hrwle/internal/machine"
+)
+
+func benchSys(cpus int) *System {
+	m := machine.New(machine.Config{CPUs: cpus, MemWords: 1 << 16, Seed: 1, Deadline: 1 << 62})
+	return NewSystem(m, Config{})
+}
+
+// BenchmarkTxCommitSmall measures an uncontended 4-store transaction.
+func BenchmarkTxCommitSmall(b *testing.B) {
+	s := benchSys(1)
+	b.ResetTimer()
+	s.M.Run(1, func(c *machine.CPU) {
+		th := s.Thread(0)
+		for i := 0; i < b.N; i++ {
+			th.Try(false, func() {
+				for j := 0; j < 4; j++ {
+					th.Store(addr(j), uint64(i))
+				}
+			})
+		}
+	})
+}
+
+// BenchmarkROTCommitReadHeavy measures the ROT advantage: 48 untracked
+// loads plus one store.
+func BenchmarkROTCommitReadHeavy(b *testing.B) {
+	s := benchSys(1)
+	b.ResetTimer()
+	s.M.Run(1, func(c *machine.CPU) {
+		th := s.Thread(0)
+		for i := 0; i < b.N; i++ {
+			th.Try(true, func() {
+				for j := 0; j < 48; j++ {
+					th.Load(addr(j))
+				}
+				th.Store(addr(0), uint64(i))
+			})
+		}
+	})
+}
+
+// BenchmarkNonTxLoad measures the uninstrumented-read fast path (what
+// RW-LE readers pay per access).
+func BenchmarkNonTxLoad(b *testing.B) {
+	s := benchSys(1)
+	b.ResetTimer()
+	s.M.Run(1, func(c *machine.CPU) {
+		th := s.Thread(0)
+		for i := 0; i < b.N; i++ {
+			th.Load(addr(i % 8))
+		}
+	})
+}
+
+// BenchmarkConflictAbort measures the doom/rollback path under constant
+// write-write conflicts.
+func BenchmarkConflictAbort(b *testing.B) {
+	s := benchSys(2)
+	iters := b.N/2 + 1
+	b.ResetTimer()
+	s.M.Run(2, func(c *machine.CPU) {
+		th := s.Thread(c.ID)
+		for i := 0; i < iters; i++ {
+			th.Try(false, func() {
+				th.Store(addr(0), uint64(i))
+				c.Tick(50)
+				th.Load(addr(1))
+			})
+		}
+	})
+}

@@ -1,0 +1,254 @@
+// Package htm implements a software model of POWER8 best-effort hardware
+// transactional memory on top of the machine simulator, including the two
+// micro-architectural features RW-LE depends on:
+//
+//   - rollback-only transactions (ROTs), which track stores but not loads —
+//     no read-set capacity aborts, no read-conflict aborts, and an
+//     aggregate (atomic) store appearance at commit;
+//   - suspend/resume, which lets a transaction execute non-transactional
+//     accesses in the middle of speculation; conflicts arriving while
+//     suspended doom the transaction and the abort materializes at resume.
+//
+// Conflict detection is eager, requester-wins, at cache-line granularity,
+// mirroring a coherence-protocol implementation: the thread performing an
+// access aborts whichever speculating transaction holds the line in an
+// incompatible state. Non-transactional reads are invisible to the
+// directory — exactly the property that forces RW-LE's quiescence scheme.
+//
+// Transactions abort by panicking with an internal signal that Try
+// recovers, mimicking hardware's control transfer to the tbegin failure
+// handler.
+package htm
+
+import (
+	"fmt"
+
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+// Mode is a thread's speculation state.
+type Mode int
+
+const (
+	// ModeNone: not speculating; accesses are non-transactional.
+	ModeNone Mode = iota
+	// ModeHTM: inside a regular transaction (loads and stores tracked).
+	ModeHTM
+	// ModeROT: inside a rollback-only transaction (only stores tracked).
+	ModeROT
+)
+
+// Status is the outcome of a transaction attempt, the software analogue of
+// the POWER8 TEXASR failure code.
+type Status struct {
+	// OK reports whether the transaction committed.
+	OK bool
+	// Cause classifies the abort when !OK.
+	Cause stats.AbortCause
+	// Persistent reports whether retrying the same path is futile
+	// (capacity and explicit-persistent aborts).
+	Persistent bool
+}
+
+// abortSignal is the panic payload used to unwind to Try on abort.
+type abortSignal struct {
+	cause      stats.AbortCause
+	persistent bool
+}
+
+// Config holds the HTM capacity budget.
+type Config struct {
+	// ReadCapLines is the read-set budget in cache lines (default 64,
+	// i.e. 8 KiB of 128 B lines — the POWER8 budget).
+	ReadCapLines int
+	// WriteCapLines is the write-set budget in cache lines (default 64).
+	WriteCapLines int
+}
+
+func (c *Config) applyDefaults() {
+	if c.ReadCapLines == 0 {
+		c.ReadCapLines = 64
+	}
+	if c.WriteCapLines == 0 {
+		c.WriteCapLines = 64
+	}
+}
+
+// dirEntry is the per-cache-line conflict-directory state: at most one
+// speculative writer and a bitmap of speculative readers.
+type dirEntry struct {
+	writer  *Thread
+	readers [2]uint64
+}
+
+func (e *dirEntry) hasReader(id int) bool { return e.readers[id>>6]&(1<<(uint(id)&63)) != 0 }
+func (e *dirEntry) addReader(id int)      { e.readers[id>>6] |= 1 << (uint(id) & 63) }
+func (e *dirEntry) delReader(id int)      { e.readers[id>>6] &^= 1 << (uint(id) & 63) }
+func (e *dirEntry) anyOtherReader(id int) bool {
+	r := e.readers
+	r[id>>6] &^= 1 << (uint(id) & 63)
+	return r[0]|r[1] != 0
+}
+
+// System is an HTM-capable simulated machine: the machine plus the conflict
+// directory and one Thread per CPU.
+type System struct {
+	M       *machine.Machine
+	Cfg     Config
+	dir     []dirEntry
+	threads []*Thread
+}
+
+// NewSystem wraps a machine with HTM support.
+func NewSystem(m *machine.Machine, cfg Config) *System {
+	cfg.applyDefaults()
+	s := &System{M: m, Cfg: cfg}
+	s.dir = make([]dirEntry, m.NumLines())
+	s.threads = make([]*Thread, m.Cfg.CPUs)
+	for i := range s.threads {
+		s.threads[i] = newThread(s, m.CPU(i))
+	}
+	return s
+}
+
+// Thread returns the HTM thread bound to CPU id.
+func (s *System) Thread(id int) *Thread { return s.threads[id] }
+
+// Threads returns all HTM threads.
+func (s *System) Threads() []*Thread { return s.threads }
+
+// Stats returns the per-thread stat collectors for the first n threads.
+func (s *System) Stats(n int) []*stats.Thread {
+	out := make([]*stats.Thread, n)
+	for i := 0; i < n; i++ {
+		out[i] = &s.threads[i].St
+	}
+	return out
+}
+
+// ResetStats zeroes all per-thread counters.
+func (s *System) ResetStats() {
+	for _, t := range s.threads {
+		t.St.Reset()
+	}
+}
+
+// Thread is one hardware thread's HTM context.
+type Thread struct {
+	C  *machine.CPU
+	St stats.Thread
+
+	sys       *System
+	mode      Mode
+	suspended bool
+	doom      stats.AbortCause // pending abort cause; -1 when clean
+	doomPers  bool
+
+	readLines  []int64
+	writeLines []int64
+	writeBuf   map[machine.Addr]uint64
+	writeOrder []machine.Addr
+}
+
+func newThread(s *System, c *machine.CPU) *Thread {
+	t := &Thread{C: c, sys: s, doom: -1, writeBuf: make(map[machine.Addr]uint64)}
+	// Interrupts and page faults discard speculative state on real
+	// hardware; model both as a non-transactional doom.
+	c.OnInterrupt = t.doomFromEnvironment
+	c.OnPageFault = t.doomFromEnvironment
+	return t
+}
+
+// doomFromEnvironment dooms the in-flight transaction because of a
+// VM-subsystem event (page fault or timer interrupt).
+func (t *Thread) doomFromEnvironment() {
+	if t.mode == ModeNone {
+		return
+	}
+	t.setDoom(false)
+}
+
+// setDoom records a pending conflict abort. sourceTx tells whether the
+// conflicting access came from inside another transaction.
+func (t *Thread) setDoom(sourceTx bool) {
+	if t.doom >= 0 {
+		return
+	}
+	switch {
+	case t.mode == ModeROT:
+		t.doom = stats.AbortROTConflict
+	case sourceTx:
+		t.doom = stats.AbortConflictTx
+	default:
+		t.doom = stats.AbortConflictNonTx
+	}
+	t.doomPers = false
+	t.C.Emit(machine.EvTxDoom, 0, uint64(t.doom))
+}
+
+// Mode returns the thread's current speculation mode.
+func (t *Thread) Mode() Mode { return t.mode }
+
+// Suspended reports whether the thread is inside a suspended transaction.
+func (t *Thread) Suspended() bool { return t.suspended }
+
+// InTx reports whether the thread is speculating (suspended or not).
+func (t *Thread) InTx() bool { return t.mode != ModeNone }
+
+// Doomed reports whether the in-flight transaction has a pending abort.
+// It models the POWER8 tcheck instruction, usable while suspended. It
+// synchronizes with the scheduler so that every conflict with an earlier
+// virtual timestamp is visible.
+func (t *Thread) Doomed() bool {
+	t.C.Sync()
+	return t.doom >= 0
+}
+
+func (t *Thread) checkDoom() {
+	if t.doom >= 0 {
+		t.abort(t.doom, t.doomPers)
+	}
+}
+
+// abort rolls back the current transaction and unwinds to Try.
+func (t *Thread) abort(cause stats.AbortCause, persistent bool) {
+	if t.mode == ModeNone {
+		panic("htm: abort outside transaction")
+	}
+	t.rollback()
+	t.St.Aborts[cause]++
+	t.C.Tick(t.C.Costs().AbortPenalty)
+	t.C.Emit(machine.EvTxAbort, 0, uint64(cause))
+	panic(abortSignal{cause, persistent})
+}
+
+// rollback discards speculative state and deregisters from the directory.
+func (t *Thread) rollback() {
+	for _, l := range t.readLines {
+		t.sys.dir[l].delReader(t.C.ID)
+	}
+	for _, l := range t.writeLines {
+		if t.sys.dir[l].writer == t {
+			t.sys.dir[l].writer = nil
+		}
+	}
+	t.readLines = t.readLines[:0]
+	t.writeLines = t.writeLines[:0]
+	t.writeOrder = t.writeOrder[:0]
+	for a := range t.writeBuf {
+		delete(t.writeBuf, a)
+	}
+	t.mode = ModeNone
+	t.suspended = false
+	t.doom = -1
+}
+
+func (t *Thread) mustBeActive(op string) {
+	if t.mode == ModeNone {
+		panic(fmt.Sprintf("htm: %s outside transaction", op))
+	}
+	if t.suspended {
+		panic(fmt.Sprintf("htm: %s while suspended", op))
+	}
+}

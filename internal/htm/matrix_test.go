@@ -1,0 +1,288 @@
+package htm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+// TestConflictMatrix checks every combination of (first accessor kind,
+// second accessor kind, access types) on one cache line against the
+// requester-wins POWER8 semantics. The first accessor performs its access
+// and lingers speculating; the second accessor then hits the same line.
+func TestConflictMatrix(t *testing.T) {
+	type kind int
+	const (
+		kHTM kind = iota
+		kROT
+		kNonTx
+	)
+	names := map[kind]string{kHTM: "HTM", kROT: "ROT", kNonTx: "nonTx"}
+
+	// expectations: does the FIRST accessor survive?
+	type testCase struct {
+		firstKind   kind
+		firstWrite  bool
+		secondKind  kind
+		secondWrite bool
+		survives    bool
+	}
+	cases := []testCase{
+		// Speculative READER first (only HTM tracks reads).
+		{kHTM, false, kHTM, false, true},   // concurrent readers fine
+		{kHTM, false, kROT, false, true},   // ROT read does not conflict
+		{kHTM, false, kNonTx, false, true}, // non-tx read fine
+		{kHTM, false, kHTM, true, false},   // tx write kills tx reader
+		{kHTM, false, kROT, true, false},   // ROT write kills tx reader
+		{kHTM, false, kNonTx, true, false}, // non-tx write kills tx reader
+		// ROT "reader" first: loads are untracked, nothing can kill via reads.
+		{kROT, false, kHTM, true, true},
+		{kROT, false, kNonTx, true, true},
+		// Speculative WRITER first: any second access kills it.
+		{kHTM, true, kHTM, false, false},
+		{kHTM, true, kHTM, true, false},
+		{kHTM, true, kROT, false, false},
+		{kHTM, true, kROT, true, false},
+		{kHTM, true, kNonTx, false, false},
+		{kHTM, true, kNonTx, true, false},
+		{kROT, true, kHTM, false, false},
+		{kROT, true, kHTM, true, false},
+		{kROT, true, kROT, true, false},
+		{kROT, true, kNonTx, false, false},
+		{kROT, true, kNonTx, true, false},
+	}
+
+	for _, tc := range cases {
+		name := fmt.Sprintf("%s-%s_then_%s-%s", names[tc.firstKind], rw(tc.firstWrite), names[tc.secondKind], rw(tc.secondWrite))
+		t.Run(name, func(t *testing.T) {
+			s := newSys(2)
+			line := addr(0)
+			var st0 Status
+			st0.OK = true
+			s.M.Run(2, func(c *machine.CPU) {
+				th := s.Thread(c.ID)
+				if c.ID == 0 {
+					if tc.firstKind == kNonTx {
+						t.Fatal("first accessor must speculate")
+					}
+					st0 = th.Try(tc.firstKind == kROT, func() {
+						if tc.firstWrite {
+							th.Store(line, 1)
+						} else {
+							th.Load(line)
+						}
+						c.Tick(10_000) // linger while the second accessor hits
+						th.Load(addr(1))
+						if tc.firstKind == kROT {
+							// ROT loads are no doom-check points for
+							// self; force one via a store.
+							th.Store(addr(1), 1)
+						}
+					})
+				} else {
+					c.Tick(2_000)
+					switch tc.secondKind {
+					case kNonTx:
+						if tc.secondWrite {
+							th.Store(line, 2)
+						} else {
+							th.Load(line)
+						}
+					default:
+						th.Try(tc.secondKind == kROT, func() {
+							if tc.secondWrite {
+								th.Store(line, 2)
+							} else {
+								th.Load(line)
+							}
+						})
+					}
+				}
+			})
+			if st0.OK != tc.survives {
+				t.Errorf("first accessor survived=%v, want %v (cause %v)", st0.OK, tc.survives, st0.Cause)
+			}
+		})
+	}
+}
+
+func rw(w bool) string {
+	if w {
+		return "W"
+	}
+	return "R"
+}
+
+// TestDirectoryCleanAfterEveryOutcome verifies no speculative registration
+// leaks after commits, aborts, and explicit aborts — a leaked reader bit
+// or writer pointer would doom future unrelated transactions.
+func TestDirectoryCleanAfterEveryOutcome(t *testing.T) {
+	s := newSys(2)
+	s.M.Run(2, func(c *machine.CPU) {
+		th := s.Thread(c.ID)
+		for i := 0; i < 50; i++ {
+			th.Try(c.Intn(2) == 0, func() {
+				for j := 0; j < 4; j++ {
+					a := addr(c.Intn(6))
+					if c.Intn(2) == 0 {
+						th.Load(a)
+					} else {
+						th.Store(a, 1)
+					}
+				}
+				if c.Intn(3) == 0 {
+					th.Abort(stats.AbortExplicit)
+				}
+			})
+		}
+	})
+	// After the run, a fresh transaction touching every line must commit.
+	s.M.Run(1, func(c *machine.CPU) {
+		th := s.Thread(0)
+		st := th.Try(false, func() {
+			for j := 0; j < 6; j++ {
+				th.Store(addr(j), 9)
+			}
+		})
+		if !st.OK {
+			t.Errorf("directory left dirty: %+v", st)
+		}
+	})
+}
+
+// TestSerializabilityProperty: concurrent random transactions over a small
+// key space; committed increments must equal the final sum (transactions
+// each add 1 to a random cell; atomicity means no lost updates).
+func TestSerializabilityProperty(t *testing.T) {
+	check := func(seed uint16) bool {
+		m := machine.New(machine.Config{CPUs: 4, MemWords: 1 << 16, Seed: uint64(seed) + 1})
+		s := NewSystem(m, Config{})
+		committed := make([]int64, 4)
+		s.M.Run(4, func(c *machine.CPU) {
+			th := s.Thread(c.ID)
+			for i := 0; i < 20; i++ {
+				cell := addr(c.Intn(3))
+				for attempt := 0; ; attempt++ {
+					st := th.Try(false, func() {
+						th.Store(cell, th.Load(cell)+1)
+					})
+					if st.OK {
+						committed[c.ID]++
+						break
+					}
+					sh := attempt
+					if sh > 8 {
+						sh = 8
+					}
+					c.SpinFor(1 + c.Intn(1<<sh))
+				}
+			}
+		})
+		var total, sum int64
+		for _, n := range committed {
+			total += n
+		}
+		for j := 0; j < 3; j++ {
+			sum += int64(s.M.Peek(addr(j)))
+		}
+		return total == 80 && sum == total
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSuspendedStoresSurviveAbort: stores issued while suspended are
+// non-transactional and must persist even when the surrounding transaction
+// aborts (this is what lets Algorithm 1 release the lock early).
+func TestSuspendedStoresSurviveAbort(t *testing.T) {
+	s := newSys(2)
+	var st Status
+	s.M.Run(2, func(c *machine.CPU) {
+		th := s.Thread(c.ID)
+		if c.ID == 0 {
+			st = th.Try(false, func() {
+				th.Store(addr(0), 1) // speculative
+				th.Suspend()
+				th.Store(addr(1), 2) // non-transactional
+				c.Tick(10_000)
+				th.Resume() // doomed by CPU 1 below
+			})
+		} else {
+			c.Tick(2_000)
+			th.Load(addr(0))
+		}
+	})
+	if st.OK {
+		t.Fatal("expected abort")
+	}
+	if s.M.Peek(addr(0)) != 0 {
+		t.Error("speculative store leaked")
+	}
+	if s.M.Peek(addr(1)) != 2 {
+		t.Error("suspended (non-transactional) store lost")
+	}
+}
+
+// TestAbortInsideSuspendIsDeferred: a conflict that lands while suspended
+// must not fire during suspended execution, only at Resume.
+func TestAbortInsideSuspendIsDeferred(t *testing.T) {
+	s := newSys(2)
+	progressed := false
+	s.M.Run(2, func(c *machine.CPU) {
+		th := s.Thread(c.ID)
+		if c.ID == 0 {
+			th.Try(false, func() {
+				th.Store(addr(0), 1)
+				th.Suspend()
+				c.Tick(5_000) // conflict arrives here
+				// Suspended execution continues regardless of the doom:
+				th.Load(addr(2))
+				th.Store(addr(3), 7)
+				progressed = true
+				th.Resume()
+			})
+		} else {
+			c.Tick(2_000)
+			th.Load(addr(0))
+		}
+	})
+	if !progressed {
+		t.Error("suspended execution was cut short before Resume")
+	}
+	if s.M.Peek(addr(3)) != 7 {
+		t.Error("suspended store lost")
+	}
+}
+
+// TestROTvsROTWriteConflict: two ROTs writing the same line must conflict
+// (store sets are tracked even for ROTs).
+func TestROTvsROTWriteConflict(t *testing.T) {
+	s := newSys(2)
+	var st0, st1 Status
+	s.M.Run(2, func(c *machine.CPU) {
+		th := s.Thread(c.ID)
+		if c.ID == 0 {
+			st0 = th.Try(true, func() {
+				th.Store(addr(0), 1)
+				c.Tick(10_000)
+				th.Store(addr(1), 1)
+			})
+		} else {
+			c.Tick(2_000)
+			st1 = th.Try(true, func() { th.Store(addr(0), 2) })
+		}
+	})
+	if st0.OK {
+		t.Error("first ROT should lose the write-write race")
+	}
+	if st0.Cause != stats.AbortROTConflict {
+		t.Errorf("cause = %v", st0.Cause)
+	}
+	if !st1.OK {
+		t.Error("second ROT should commit")
+	}
+}

@@ -1,0 +1,289 @@
+package kyoto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hrwle/internal/core"
+	"hrwle/internal/htm"
+	"hrwle/internal/locks"
+	"hrwle/internal/machine"
+	"hrwle/internal/rwlock"
+)
+
+func smallCfg() Config {
+	return Config{Slots: 4, BucketsPerSlot: 8, Records: 100, KeySpace: 200, Seed: 3}
+}
+
+func newDB(cpus int, seed uint64) (*htm.System, *DB) {
+	cfg := smallCfg()
+	m := machine.New(machine.Config{CPUs: cpus, MemWords: cfg.MemWords(), Seed: seed})
+	sys := htm.NewSystem(m, htm.Config{})
+	db := New(m, cfg)
+	db.Populate()
+	return sys, db
+}
+
+func TestPopulateAndTrees(t *testing.T) {
+	_, db := newDB(1, 1)
+	if msg := db.CheckTrees(); msg != "" {
+		t.Fatal(msg)
+	}
+	if got := db.RawCount(); got != 100 {
+		t.Errorf("RawCount = %d, want 100", got)
+	}
+}
+
+func TestGetSetRemoveSequential(t *testing.T) {
+	sys, db := newDB(1, 2)
+	model := map[uint64]uint64{}
+	for i := int64(0); i < db.Cfg.Records; i++ {
+		model[uint64(2*i)] = uint64(2 * i * 3)
+	}
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		for i := 0; i < 600; i++ {
+			key := uint64(c.Intn(int(db.Cfg.KeySpace)))
+			switch c.Intn(3) {
+			case 0:
+				v, ok := db.Get(th, key, InnerReal)
+				mv, mok := model[key]
+				if ok != mok || (ok && v != mv) {
+					t.Fatalf("get(%d) = (%d,%v), model (%d,%v)", key, v, ok, mv, mok)
+				}
+			case 1:
+				node := db.PrepareNode(th)
+				if !db.Set(th, key, key+1, node, InnerReal, nil) {
+					db.Recycle(th, node)
+				}
+				model[key] = key + 1
+			default:
+				gone := db.Remove(th, key, InnerReal)
+				if _, ok := model[key]; ok != (gone != 0) {
+					t.Fatalf("remove(%d) = %v, model has=%v", key, gone != 0, ok)
+				}
+				db.Recycle(th, gone)
+				delete(model, key)
+			}
+		}
+	})
+	if msg := db.CheckTrees(); msg != "" {
+		t.Fatal(msg)
+	}
+	if got, want := db.RawCount(), int64(len(model)); got != want {
+		t.Errorf("count %d, model %d", got, want)
+	}
+}
+
+func TestRemoveTwoChildrenProperty(t *testing.T) {
+	// Property: removing any key from a random tree preserves BST shape
+	// and removes exactly that key.
+	check := func(keys []uint8, pick uint8) bool {
+		cfg := Config{Slots: 1, BucketsPerSlot: 1, Records: 0, KeySpace: 256, Seed: 1}
+		m := machine.New(machine.Config{CPUs: 1, MemWords: cfg.MemWords(), Seed: 9})
+		sys := htm.NewSystem(m, htm.Config{})
+		db := New(m, cfg)
+		present := map[uint64]bool{}
+		ok := true
+		sys.M.Run(1, func(c *machine.CPU) {
+			th := sys.Thread(0)
+			for _, k := range keys {
+				node := db.PrepareNode(th)
+				if !db.Set(th, uint64(k), uint64(k), node, InnerReal, nil) {
+					db.Recycle(th, node)
+				}
+				present[uint64(k)] = true
+			}
+			key := uint64(pick)
+			gone := db.Remove(th, key, InnerReal)
+			if (gone != 0) != present[key] {
+				ok = false
+			}
+			delete(present, key)
+			for k := range present {
+				if _, found := db.Get(th, k, InnerReal); !found {
+					ok = false
+				}
+			}
+			if _, found := db.Get(th, key, InnerReal); found {
+				ok = false
+			}
+		})
+		return ok && db.CheckTrees() == "" && db.RawCount() == int64(len(present))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIterateAndRecount(t *testing.T) {
+	sys, db := newDB(1, 4)
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		var want uint64
+		for i := int64(0); i < db.Cfg.Records; i++ {
+			want += uint64(2 * i * 3)
+		}
+		if got := db.Iterate(th, 0, db.Cfg.Slots*db.Cfg.BucketsPerSlot); got != want {
+			t.Errorf("Iterate sum = %d, want %d", got, want)
+		}
+		// Corrupt a count, then Recount must repair it.
+		sys.M.Poke(db.slotAddr(0)+slotCount, 999)
+		db.Recount(th)
+		if msg := db.CheckTrees(); msg != "" {
+			t.Error(msg)
+		}
+	})
+}
+
+func TestClearBucket(t *testing.T) {
+	sys, db := newDB(1, 5)
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		before := db.RawCount()
+		var freed []machine.Addr
+		db.ClearBucket(th, 0, &freed)
+		if int64(len(freed)) != before-db.RawCount() {
+			t.Errorf("freed %d nodes, tree count dropped by %d", len(freed), before-db.RawCount())
+		}
+		for _, n := range freed {
+			db.Recycle(th, n)
+		}
+	})
+	if msg := db.CheckTrees(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func wickedStress(t *testing.T, mk rwlock.Factory, pol InnerPolicy, writePct int, seed uint64) {
+	t.Helper()
+	const threads, ops = 8, 60
+	sys, db := newDB(threads, seed)
+	lock := mk(sys)
+	w := &Wicked{DB: db, WritePct: writePct, Inner: pol}
+	sys.M.Run(threads, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < ops; i++ {
+			w.Step(lock, th, c)
+		}
+	})
+	if msg := db.CheckTrees(); msg != "" {
+		t.Fatalf("%s: %s", lock.Name(), msg)
+	}
+}
+
+func TestWickedRWLE(t *testing.T) {
+	for _, w := range []int{1, 10} {
+		wickedStress(t, func(s *htm.System) rwlock.Lock { return core.New(s, core.Opt()) }, InnerReal, w, uint64(w))
+		wickedStress(t, func(s *htm.System) rwlock.Lock { return core.New(s, core.Pes()) }, InnerReal, w, uint64(w)+40)
+	}
+}
+
+func TestWickedHLEElidesBothLocks(t *testing.T) {
+	wickedStress(t, func(s *htm.System) rwlock.Lock { return locks.NewHLE(s) }, InnerElide, 5, 50)
+}
+
+func TestWickedPessimisticBaselines(t *testing.T) {
+	wickedStress(t, func(s *htm.System) rwlock.Lock { return locks.NewRWL(s) }, InnerReal, 5, 51)
+	wickedStress(t, func(s *htm.System) rwlock.Lock { return locks.NewSGL(s) }, InnerReal, 5, 52)
+	wickedStress(t, func(s *htm.System) rwlock.Lock { return locks.NewBRLock(s) }, InnerReal, 5, 53)
+}
+
+func TestCapEvictionLRU(t *testing.T) {
+	cfg := Config{Slots: 1, BucketsPerSlot: 4, Records: 0, KeySpace: 64, CapPerSlot: 8, Seed: 3}
+	m := machine.New(machine.Config{CPUs: 1, MemWords: cfg.MemWords(), Seed: 7})
+	sys := htm.NewSystem(m, htm.Config{})
+	db := New(m, cfg)
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		// Insert 20 distinct keys into a slot capped at 8: every insert
+		// past the cap must evict the least-recently-used record.
+		for k := uint64(0); k < 20; k++ {
+			node := db.PrepareNode(th)
+			var evicted machine.Addr
+			if !db.Set(th, k, k, node, InnerReal, &evicted) {
+				t.Fatalf("key %d already present", k)
+			}
+			if k >= 8 && evicted == 0 {
+				t.Fatalf("insert %d over cap evicted nothing", k)
+			}
+			db.Recycle(th, evicted)
+		}
+		if got := db.RawCount(); got != 8 {
+			t.Fatalf("count = %d, want cap 8", got)
+		}
+		// The survivors must be the 8 most recently inserted keys.
+		for k := uint64(12); k < 20; k++ {
+			if _, ok := db.Get(th, k, InnerReal); !ok {
+				t.Errorf("recent key %d evicted", k)
+			}
+		}
+		for k := uint64(0); k < 12; k++ {
+			if _, ok := db.Get(th, k, InnerReal); ok {
+				t.Errorf("stale key %d survived", k)
+			}
+		}
+		// Touching an old key via Get must protect it from eviction.
+		db.Get(th, 12, InnerReal)
+		node := db.PrepareNode(th)
+		var evicted machine.Addr
+		db.Set(th, 50, 50, node, InnerReal, &evicted)
+		db.Recycle(th, evicted)
+		if _, ok := db.Get(th, 12, InnerReal); !ok {
+			t.Error("recently touched key was evicted")
+		}
+		if _, ok := db.Get(th, 13, InnerReal); ok {
+			t.Error("true LRU victim (13) survived")
+		}
+	})
+	if msg := db.CheckTrees(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestCapEvictionConcurrent(t *testing.T) {
+	cfg := Config{Slots: 4, BucketsPerSlot: 8, Records: 0, KeySpace: 400, CapPerSlot: 16, Seed: 5}
+	m := machine.New(machine.Config{CPUs: 8, MemWords: cfg.MemWords() * 2, Seed: 11})
+	sys := htm.NewSystem(m, htm.Config{})
+	db := New(m, cfg)
+	lock := core.New(sys, core.Opt())
+	sys.M.Run(8, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < 80; i++ {
+			key := uint64(c.Intn(400))
+			node := db.PrepareNode(th)
+			used := false
+			var evicted machine.Addr
+			lock.Read(th, func() {
+				evicted = 0 // restartable
+				used = db.Set(th, key, key, node, InnerReal, &evicted)
+			})
+			if !used {
+				db.Recycle(th, node)
+			}
+			db.Recycle(th, evicted)
+		}
+	})
+	if msg := db.CheckTrees(); msg != "" {
+		t.Fatal(msg)
+	}
+	if got := db.RawCount(); got > 4*16 {
+		t.Errorf("total records %d exceed caps", got)
+	}
+}
+
+func TestSlotCountsConsistentAfterStress(t *testing.T) {
+	sys, db := newDB(4, 60)
+	lock := core.New(sys, core.Opt())
+	w := &Wicked{DB: db, WritePct: 10, Inner: InnerReal}
+	sys.M.Run(4, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < 80; i++ {
+			w.Step(lock, th, c)
+		}
+	})
+	// CheckTrees already cross-checks per-slot counts against trees.
+	if msg := db.CheckTrees(); msg != "" {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,310 @@
+package kyoto
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+)
+
+// Get returns the value for key and, like CacheDB, moves the record to
+// the front of its slot's LRU list — get() is a mutating operation, which
+// is why it needs the inner mutex even under the outer READ lock, and why
+// same-slot gets conflict when HLE runs them as transactions.
+func (db *DB) Get(t *htm.Thread, key uint64, pol InnerPolicy) (uint64, bool) {
+	s := db.slotOf(key)
+	db.lockSlot(t, s, pol)
+	node := db.search(t, key)
+	var v uint64
+	if node != 0 {
+		v = t.Load(node + recValue)
+		db.lruTouch(t, s, node)
+	}
+	db.unlockSlot(t, s, pol)
+	return v, node != 0
+}
+
+// lruUnlink removes node from slot s's LRU list.
+func (db *DB) lruUnlink(t *htm.Thread, s int64, node machine.Addr) {
+	prev := machine.Addr(t.Load(node + recPrev))
+	next := machine.Addr(t.Load(node + recNext))
+	if prev != 0 {
+		t.Store(prev+recNext, uint64(next))
+	} else {
+		t.Store(db.slotAddr(s)+slotLRU, uint64(next))
+	}
+	if next != 0 {
+		t.Store(next+recPrev, uint64(prev))
+	} else {
+		t.Store(db.slotAddr(s)+slotLRUTl, uint64(prev))
+	}
+}
+
+// lruPushFront links node at the head of slot s's LRU list.
+func (db *DB) lruPushFront(t *htm.Thread, s int64, node machine.Addr) {
+	ha := db.slotAddr(s) + slotLRU
+	head := t.Load(ha)
+	t.Store(node+recPrev, 0)
+	t.Store(node+recNext, head)
+	if head != 0 {
+		t.Store(machine.Addr(head)+recPrev, uint64(node))
+	} else {
+		t.Store(db.slotAddr(s)+slotLRUTl, uint64(node))
+	}
+	t.Store(ha, uint64(node))
+}
+
+// lruTouch moves node to the front of slot s's LRU list.
+func (db *DB) lruTouch(t *htm.Thread, s int64, node machine.Addr) {
+	if machine.Addr(t.Load(db.slotAddr(s)+slotLRU)) == node {
+		return
+	}
+	db.lruUnlink(t, s, node)
+	db.lruPushFront(t, s, node)
+}
+
+// search descends the bucket BST for key.
+func (db *DB) search(t *htm.Thread, key uint64) machine.Addr {
+	n := t.Load(db.bucketAddr(key))
+	for n != 0 {
+		a := machine.Addr(n)
+		k := t.Load(a + recKey)
+		if k == key {
+			return a
+		}
+		if key < k {
+			n = t.Load(a + recLeft)
+		} else {
+			n = t.Load(a + recRight)
+		}
+	}
+	return 0
+}
+
+// PrepareNode allocates a record for a subsequent Set (outside critical
+// sections; see the allocation discipline in package hashmap).
+func (db *DB) PrepareNode(t *htm.Thread) machine.Addr {
+	return t.AllocAligned(recWords)
+}
+
+// Recycle returns an unused or unlinked record to the allocator (outside
+// critical sections only).
+func (db *DB) Recycle(t *htm.Thread, node machine.Addr) {
+	if node != 0 {
+		t.FreeAligned(node, recWords)
+	}
+}
+
+// Set inserts or updates key→value. It consumes the caller-prepared node
+// when it inserts, returning true. Outer-read critical section.
+//
+// With Config.CapPerSlot set, an insert that would exceed the slot's cap
+// first evicts the least-recently-used record (CacheDB's capcnt
+// behaviour); *evicted receives the unlinked node for the caller to
+// Recycle after the critical section commits.
+func (db *DB) Set(t *htm.Thread, key, value uint64, node machine.Addr, pol InnerPolicy, evicted *machine.Addr) bool {
+	s := db.slotOf(key)
+	db.lockSlot(t, s, pol)
+	defer db.unlockSlot(t, s, pol)
+
+	cur := db.bucketAddr(key)
+	for {
+		child := t.Load(cur)
+		if child == 0 {
+			sa := db.slotAddr(s)
+			if cap := db.Cfg.CapPerSlot; cap > 0 && evicted != nil &&
+				t.Load(sa+slotCount) >= uint64(cap) {
+				*evicted = db.evictLRU(t, s)
+				// The eviction may have restructured this very tree, so
+				// the link word found during the first descent can be
+				// stale (it may even live inside the evicted node).
+				// Re-descend for a fresh insertion point.
+				cur = db.bucketAddr(key)
+				for {
+					c2 := t.Load(cur)
+					if c2 == 0 {
+						break
+					}
+					a := machine.Addr(c2)
+					if key < t.Load(a+recKey) {
+						cur = a + recLeft
+					} else {
+						cur = a + recRight
+					}
+				}
+			}
+			t.Store(node+recKey, key)
+			t.Store(node+recValue, value)
+			t.Store(node+recLeft, 0)
+			t.Store(node+recRight, 0)
+			t.Store(cur, uint64(node))
+			db.lruPushFront(t, s, node)
+			t.Store(sa+slotCount, t.Load(sa+slotCount)+1)
+			return true
+		}
+		a := machine.Addr(child)
+		k := t.Load(a + recKey)
+		if k == key {
+			t.Store(a+recValue, value)
+			db.lruTouch(t, s, a)
+			return false
+		}
+		if key < k {
+			cur = a + recLeft
+		} else {
+			cur = a + recRight
+		}
+	}
+}
+
+// evictLRU removes the slot's least-recently-used record from its BST and
+// the LRU list, returning the unlinked node (0 if the slot is empty).
+// Called with the slot mutex held.
+func (db *DB) evictLRU(t *htm.Thread, s int64) machine.Addr {
+	tail := machine.Addr(t.Load(db.slotAddr(s) + slotLRUTl))
+	if tail == 0 {
+		return 0
+	}
+	key := t.Load(tail + recKey)
+	// removeFromTree unlinks by key; the physically removed node may be
+	// the in-order successor rather than the tail itself (its payload
+	// moves into the tail's node), so the LRU identity is preserved by
+	// the same payload-swap convention Remove uses.
+	return db.removeLocked(t, s, key)
+}
+
+// Remove deletes key and returns the physically unlinked record (0 if the
+// key was absent). The caller must Recycle it after the critical section
+// commits. Outer-read critical section.
+//
+// Standard BST deletion: a node with two children swaps in its in-order
+// successor's key/value and the successor node is the one unlinked.
+func (db *DB) Remove(t *htm.Thread, key uint64, pol InnerPolicy) machine.Addr {
+	s := db.slotOf(key)
+	db.lockSlot(t, s, pol)
+	defer db.unlockSlot(t, s, pol)
+	return db.removeLocked(t, s, key)
+}
+
+// removeLocked is Remove's body, usable while already holding the slot.
+func (db *DB) removeLocked(t *htm.Thread, s int64, key uint64) machine.Addr {
+	link := db.bucketAddr(key) // address of the word pointing at `cur`
+	cur := machine.Addr(t.Load(link))
+	for cur != 0 {
+		k := t.Load(cur + recKey)
+		if k == key {
+			break
+		}
+		if key < k {
+			link = cur + recLeft
+		} else {
+			link = cur + recRight
+		}
+		cur = machine.Addr(t.Load(link))
+	}
+	if cur == 0 {
+		return 0
+	}
+
+	left := machine.Addr(t.Load(cur + recLeft))
+	right := machine.Addr(t.Load(cur + recRight))
+	victim := cur
+	switch {
+	case left == 0:
+		t.Store(link, uint64(right))
+	case right == 0:
+		t.Store(link, uint64(left))
+	default:
+		// Two children: find the in-order successor (leftmost of the
+		// right subtree), move its payload into cur, unlink the
+		// successor.
+		slink := cur + recRight
+		succ := machine.Addr(t.Load(slink))
+		for {
+			l := machine.Addr(t.Load(succ + recLeft))
+			if l == 0 {
+				break
+			}
+			slink = succ + recLeft
+			succ = l
+		}
+		t.Store(cur+recKey, t.Load(succ+recKey))
+		t.Store(cur+recValue, t.Load(succ+recValue))
+		t.Store(slink, t.Load(succ+recRight))
+		victim = succ
+	}
+	db.lruUnlink(t, s, victim)
+	sa := db.slotAddr(s)
+	t.Store(sa+slotCount, t.Load(sa+slotCount)-1)
+	return victim
+}
+
+// Iterate scans a window of `count` buckets starting at `start`, summing
+// record values (outer WRITE critical section in Kyoto: the iterator pins
+// the whole DB even though each step visits little of it). A full scan is
+// Iterate(t, 0, Slots*BucketsPerSlot).
+func (db *DB) Iterate(t *htm.Thread, start, count int64) uint64 {
+	var sum uint64
+	total := db.Cfg.Slots * db.Cfg.BucketsPerSlot
+	for i := int64(0); i < count; i++ {
+		b := (start + i) % total
+		sum += db.treeSum(t, machine.Addr(t.Load(db.buckets+machine.Addr(b))))
+	}
+	return sum
+}
+
+func (db *DB) treeSum(t *htm.Thread, node machine.Addr) uint64 {
+	if node == 0 {
+		return 0
+	}
+	return t.Load(node+recValue) +
+		db.treeSum(t, machine.Addr(t.Load(node+recLeft))) +
+		db.treeSum(t, machine.Addr(t.Load(node+recRight)))
+}
+
+// Recount recomputes every slot's record count from its trees and stores
+// it (outer WRITE critical section; models Kyoto's maintenance paths).
+func (db *DB) Recount(t *htm.Thread) {
+	for s := int64(0); s < db.Cfg.Slots; s++ {
+		var n uint64
+		for b := int64(0); b < db.Cfg.BucketsPerSlot; b++ {
+			n += db.treeCount(t, machine.Addr(t.Load(db.buckets+machine.Addr(s*db.Cfg.BucketsPerSlot+b))))
+		}
+		t.Store(db.slotAddr(s)+slotCount, n)
+	}
+}
+
+func (db *DB) treeCount(t *htm.Thread, node machine.Addr) uint64 {
+	if node == 0 {
+		return 0
+	}
+	return 1 + db.treeCount(t, machine.Addr(t.Load(node+recLeft))) +
+		db.treeCount(t, machine.Addr(t.Load(node+recRight)))
+}
+
+// ClearBucket removes every record of one bucket (outer WRITE critical
+// section; models clear/defrag paths). It appends the unlinked records to
+// *freed, which the caller must reset before the critical section body
+// and recycle after commit.
+func (db *DB) ClearBucket(t *htm.Thread, bucket int64, freed *[]machine.Addr) {
+	root := db.buckets + machine.Addr(bucket)
+	var collect func(n machine.Addr) uint64
+	collect = func(n machine.Addr) uint64 {
+		if n == 0 {
+			return 0
+		}
+		c := collect(machine.Addr(t.Load(n+recLeft))) +
+			collect(machine.Addr(t.Load(n+recRight))) + 1
+		*freed = append(*freed, n)
+		return c
+	}
+	removed := collect(machine.Addr(t.Load(root)))
+	if removed == 0 {
+		return
+	}
+	t.Store(root, 0)
+	s := bucket / db.Cfg.BucketsPerSlot
+	for _, n := range *freed {
+		db.lruUnlink(t, s, n)
+	}
+	sa := db.slotAddr(s)
+	t.Store(sa+slotCount, t.Load(sa+slotCount)-removed)
+}

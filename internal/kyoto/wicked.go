@@ -1,0 +1,65 @@
+package kyoto
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/rwlock"
+)
+
+// Wicked drives the kcwickedtest-style workload the paper uses for Fig. 9:
+// a random mix of record operations (get/set/remove under the outer read
+// lock plus the slot mutex) and database-wide operations (iterate /
+// recount / bucket clearing under the outer write lock). writePct controls
+// the rate of outer write-mode acquisitions — the paper's 10%, 5% and <1%
+// mixes.
+type Wicked struct {
+	DB       *DB
+	WritePct int // percentage of outer write-lock acquisitions
+	Inner    InnerPolicy
+}
+
+// Step performs one operation on behalf of thread t.
+func (w *Wicked) Step(lock rwlock.Lock, t *htm.Thread, c *machine.CPU) {
+	db := w.DB
+	total := db.Cfg.Slots * db.Cfg.BucketsPerSlot
+	if c.Intn(100) < w.WritePct {
+		switch c.Intn(3) {
+		case 0:
+			// Iterator step: scan a window of buckets while pinning the
+			// whole database.
+			start := int64(c.Intn(int(total)))
+			lock.Write(t, func() { db.Iterate(t, start, 48) })
+		case 1:
+			// Status report: read all slot counts under the write lock.
+			lock.Write(t, func() { db.Count(t) })
+		default:
+			bucket := int64(c.Intn(int(total)))
+			var freed []machine.Addr
+			lock.Write(t, func() {
+				freed = freed[:0] // restartable: reset on re-execution
+				db.ClearBucket(t, bucket, &freed)
+			})
+			for _, n := range freed {
+				db.Recycle(t, n)
+			}
+		}
+	} else {
+		key := uint64(c.Intn(int(db.Cfg.KeySpace)))
+		switch c.Intn(4) {
+		case 0, 1: // get is the most common record op
+			lock.Read(t, func() { db.Get(t, key, w.Inner) })
+		case 2:
+			node := db.PrepareNode(t)
+			used := false
+			lock.Read(t, func() { used = db.Set(t, key, key^0xabcd, node, w.Inner, nil) })
+			if !used {
+				db.Recycle(t, node)
+			}
+		default:
+			var gone machine.Addr
+			lock.Read(t, func() { gone = db.Remove(t, key, w.Inner) })
+			db.Recycle(t, gone)
+		}
+	}
+	t.St.Ops++
+}

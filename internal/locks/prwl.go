@@ -1,0 +1,112 @@
+package locks
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+// PRWL is a passive reader-writer lock in the style of Liu, Zhang and
+// Chen (USENIX ATC'14). Readers are "passive": entering and leaving a read
+// critical section touches only the thread's own status line — no shared
+// counter, no atomic instruction. Writers run a version-based consensus:
+// they publish a new version and wait until every reader either is outside
+// its critical section or has reported seeing the latest version.
+//
+// The original design targets total-store-order architectures and was
+// therefore excluded from the paper's POWER8 evaluation ("designed for
+// total store order architectures, which is not the case of PowerPC").
+// This simulator is sequentially consistent, so the comparison the paper
+// could not run becomes possible — see the "ext-prwl" experiment.
+type PRWL struct {
+	version  machine.Addr // global writer version
+	wactive  machine.Addr // a writer is inside its critical section
+	wmutex   machine.Addr // serializes writers
+	statuses machine.Addr // per-thread {active, seenVersion} lines
+	n        int
+	lineW    machine.Addr
+}
+
+// Per-thread status line layout.
+const (
+	prwlActive = 0 // 1 while inside a read critical section
+	prwlSeen   = 1 // last writer version this reader reported
+)
+
+// NewPRWL creates a passive reader-writer lock for every CPU of the
+// system.
+func NewPRWL(sys *htm.System) *PRWL {
+	m := sys.M
+	n := m.Cfg.CPUs
+	return &PRWL{
+		version:  m.AllocRawAligned(1),
+		wactive:  m.AllocRawAligned(1),
+		wmutex:   m.AllocRawAligned(1),
+		statuses: m.AllocRawAligned(int64(n) * m.Cfg.LineWords),
+		n:        n,
+		lineW:    machine.Addr(m.Cfg.LineWords),
+	}
+}
+
+// Name implements rwlock.Lock.
+func (l *PRWL) Name() string { return "PRWL" }
+
+func (l *PRWL) status(i int) machine.Addr { return l.statuses + machine.Addr(i)*l.lineW }
+
+// Read implements rwlock.Lock: the passive fast path writes only the
+// thread's own status line.
+func (l *PRWL) Read(t *htm.Thread, cs func()) {
+	t.St.ReadCS++
+	st := l.status(t.C.ID)
+	for {
+		t.Store(st+prwlActive, 1)
+		t.C.Fence()
+		if t.Load(l.wactive) == 0 {
+			break
+		}
+		// A writer is inside: step back and wait for it to finish.
+		t.Store(st+prwlActive, 0)
+		poll := 1
+		for t.Load(l.wactive) != 0 {
+			t.C.SpinFor(poll)
+			if poll < 32 {
+				poll *= 2
+			}
+		}
+	}
+	cs()
+	// Leave and report the version we are current with.
+	t.Store(st+prwlSeen, t.Load(l.version))
+	t.Store(st+prwlActive, 0)
+	t.St.Commits[stats.CommitUninstrumented]++
+}
+
+// Write implements rwlock.Lock: version-based consensus with every reader.
+func (l *PRWL) Write(t *htm.Thread, cs func()) {
+	t.St.WriteCS++
+	spinAcquire(t, l.wmutex)
+	ver := t.Load(l.version) + 1
+	t.Store(l.version, ver)
+	t.Store(l.wactive, 1)
+	t.C.Fence()
+	// Wait for each reader to be quiescent: outside its section, or
+	// having reported the new version (it entered after our publication
+	// and will wait on wactive next time).
+	for i := 0; i < l.n; i++ {
+		if i == t.C.ID {
+			continue
+		}
+		st := l.status(i)
+		poll := 1
+		for t.LoadStream(st+prwlActive) == 1 && t.Load(st+prwlSeen) < ver {
+			t.C.SpinFor(poll)
+			if poll < 16 {
+				poll *= 2
+			}
+		}
+	}
+	cs()
+	t.Store(l.wactive, 0)
+	spinRelease(t, l.wmutex)
+	t.St.Commits[stats.CommitSGL]++
+}

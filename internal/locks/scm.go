@@ -1,0 +1,106 @@
+package locks
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+// SCMHLE is hardware lock elision with software-assisted conflict
+// management in the style of Afek, Levy and Morrison (PODC'14), discussed
+// in the paper's related work: when a transaction aborts on a *conflict*,
+// instead of blindly retrying (and likely colliding again), it acquires an
+// auxiliary serialization lock and retries in hardware while holding it.
+// Conflicting transactions thereby serialize among themselves but still
+// commit in hardware and still run concurrently with non-conflicting
+// transactions; only persistent failures (capacity) take the real lock.
+type SCMHLE struct {
+	lock       machine.Addr // the elided application lock
+	aux        machine.Addr // auxiliary serialization lock
+	maxRetries int
+}
+
+// NewSCMHLE creates an SCM-managed HLE scheme.
+func NewSCMHLE(sys *htm.System) *SCMHLE {
+	return &SCMHLE{
+		lock:       sys.M.AllocRawAligned(1),
+		aux:        sys.M.AllocRawAligned(1),
+		maxRetries: 5,
+	}
+}
+
+// Name implements rwlock.Lock.
+func (l *SCMHLE) Name() string { return "HLE-SCM" }
+
+// Read implements rwlock.Lock.
+func (l *SCMHLE) Read(t *htm.Thread, cs func()) {
+	t.St.ReadCS++
+	l.elide(t, cs)
+}
+
+// Write implements rwlock.Lock.
+func (l *SCMHLE) Write(t *htm.Thread, cs func()) {
+	t.St.WriteCS++
+	l.elide(t, cs)
+}
+
+func (l *SCMHLE) elide(t *htm.Thread, cs func()) {
+	attempt := func() htm.Status {
+		return t.Try(false, func() {
+			if t.Load(l.lock) != free {
+				t.Abort(stats.AbortLockBusy)
+			}
+			cs()
+		})
+	}
+
+	// Fast path: uninstrumented attempts.
+	var b backoff
+	conflicted := false
+	for i := 0; i < l.maxRetries; i++ {
+		for t.Load(l.lock) != free {
+			b.wait(t)
+		}
+		st := attempt()
+		if st.OK {
+			t.St.Commits[stats.CommitHTM]++
+			return
+		}
+		if st.Persistent {
+			conflicted = false
+			goto fallback
+		}
+		if st.Cause == stats.AbortConflictTx || st.Cause == stats.AbortConflictNonTx {
+			conflicted = true
+			break
+		}
+	}
+
+	// Conflict management: serialize with other conflicters on the
+	// auxiliary lock, but stay in hardware (the aux lock is NOT the
+	// elided lock; unrelated transactions keep committing concurrently).
+	if conflicted {
+		spinAcquire(t, l.aux)
+		for i := 0; i < l.maxRetries; i++ {
+			for t.Load(l.lock) != free {
+				b.wait(t)
+			}
+			st := attempt()
+			if st.OK {
+				spinRelease(t, l.aux)
+				t.St.Commits[stats.CommitHTM]++
+				return
+			}
+			if st.Persistent {
+				break
+			}
+		}
+		spinRelease(t, l.aux)
+	}
+
+fallback:
+	spinAcquire(t, l.lock)
+	cs()
+	spinRelease(t, l.lock)
+	t.St.Commits[stats.CommitSGL]++
+}

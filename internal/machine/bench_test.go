@@ -1,0 +1,54 @@
+package machine
+
+import "testing"
+
+// BenchmarkSchedulerHandoff measures the wall cost of one virtual-time
+// token handoff between two CPUs — the simulator's innermost loop.
+func BenchmarkSchedulerHandoff(b *testing.B) {
+	m := New(Config{CPUs: 2, MemWords: 1 << 12, Seed: 1, Deadline: 1 << 62})
+	iters := b.N/2 + 1
+	b.ResetTimer()
+	m.Run(2, func(c *CPU) {
+		for i := 0; i < iters; i++ {
+			c.Tick(1)
+			c.Sync()
+		}
+	})
+}
+
+// BenchmarkUncontendedWrite measures a private-line store (hit path).
+func BenchmarkUncontendedWrite(b *testing.B) {
+	m := New(Config{CPUs: 1, MemWords: 1 << 12, Seed: 1, Deadline: 1 << 62})
+	b.ResetTimer()
+	m.Run(1, func(c *CPU) {
+		for i := 0; i < b.N; i++ {
+			c.Write(64, uint64(i))
+		}
+	})
+}
+
+// BenchmarkContendedLine measures hot-line ping-pong between 8 CPUs.
+func BenchmarkContendedLine(b *testing.B) {
+	m := New(Config{CPUs: 8, MemWords: 1 << 12, Seed: 1, Deadline: 1 << 62})
+	iters := b.N/8 + 1
+	b.ResetTimer()
+	m.Run(8, func(c *CPU) {
+		for i := 0; i < iters; i++ {
+			c.Write(64, uint64(i))
+		}
+	})
+}
+
+// BenchmarkPagedRead measures the TLB/paging path.
+func BenchmarkPagedRead(b *testing.B) {
+	m := New(Config{
+		CPUs: 1, MemWords: 1 << 16, Seed: 1, Deadline: 1 << 62,
+		Paging: PagingConfig{Enabled: true, PageWords: 512, TLBEntries: 16},
+	})
+	b.ResetTimer()
+	m.Run(1, func(c *CPU) {
+		for i := 0; i < b.N; i++ {
+			c.Read(Addr((i * 512) % (1 << 15)))
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package machine
+
+// CostModel holds the virtual-cycle costs charged by the simulator for the
+// micro-operations that dominate synchronization performance. The defaults
+// are order-of-magnitude figures for a POWER8-class SMT8 machine clocked at
+// 3.5 GHz; they are deliberately coarse — the experiments in this repository
+// depend on the *ratios* (hit vs. miss vs. line transfer vs. tx overhead),
+// not on absolute latencies.
+type CostModel struct {
+	// L1Hit is the cost of a load that hits a line this CPU already owns
+	// or shares.
+	L1Hit int64
+	// ReadMiss is the cost of a load whose line was last written by
+	// another CPU (coherence read miss).
+	ReadMiss int64
+	// WriteHit is the cost of a store to a line this CPU owns exclusively.
+	WriteHit int64
+	// WriteMiss is the cost of a store that must obtain the line in
+	// exclusive state (upgrade or remote fetch).
+	WriteMiss int64
+	// LineTransfer is the duration for which a store reserves the cache
+	// line; it is what serializes hot-line ping-pong between CPUs.
+	LineTransfer int64
+	// CAS is the extra cost of a compare-and-swap beyond the store path.
+	CAS int64
+	// Fence is the cost of a memory barrier.
+	Fence int64
+	// TxBegin / TxCommit are the costs of starting and committing a
+	// regular hardware transaction.
+	TxBegin  int64
+	TxCommit int64
+	// ROTBegin / ROTCommit are the (cheaper) costs for rollback-only
+	// transactions, which elide the begin/commit barriers.
+	ROTBegin  int64
+	ROTCommit int64
+	// Suspend / Resume are the costs of tsuspend/tresume.
+	Suspend int64
+	Resume  int64
+	// AbortPenalty is the fixed cost of taking an abort (discarding the
+	// speculative state and transferring control to the failure handler).
+	AbortPenalty int64
+	// TLBWalk is the cost of a TLB miss serviced by a page-table walk.
+	TLBWalk int64
+	// PageFault is the cost of a page fault serviced by the (simulated)
+	// operating system.
+	PageFault int64
+	// Interrupt is the cost of fielding a timer interrupt.
+	Interrupt int64
+	// SpinIter is the cost of one iteration of a spin-wait loop beyond
+	// the loads it performs (pipeline + branch overhead).
+	SpinIter int64
+	// SpinJitter is the maximum extra random delay added to each spin
+	// iteration. Real machines have timing noise; a perfectly
+	// deterministic simulator without it can phase-lock two spin loops so
+	// that a lock releaser and a waiter sample each other in resonance
+	// forever.
+	SpinJitter int64
+	// Alloc is the cost of one dynamic allocation from the simulated heap.
+	Alloc int64
+	// Work is the cost of one unit of non-memory computation (ALU work
+	// between memory accesses of a critical section body).
+	Work int64
+}
+
+// DefaultCosts returns the calibrated default cost model. See DESIGN.md §5.
+func DefaultCosts() CostModel {
+	return CostModel{
+		L1Hit:        3,
+		ReadMiss:     90,
+		WriteHit:     4,
+		WriteMiss:    120,
+		LineTransfer: 60,
+		CAS:          30,
+		Fence:        12,
+		TxBegin:      60,
+		TxCommit:     60,
+		ROTBegin:     30,
+		ROTCommit:    30,
+		Suspend:      60,
+		Resume:       60,
+		AbortPenalty: 150,
+		TLBWalk:      80,
+		PageFault:    2500,
+		Interrupt:    1200,
+		SpinIter:     10,
+		SpinJitter:   15,
+		Alloc:        40,
+		Work:         2,
+	}
+}
+
+// CyclesPerSecond is the implied clock rate used to convert virtual cycles
+// to seconds when printing results (3.5 GHz, as on the paper's POWER8).
+const CyclesPerSecond = 3.5e9
+
+// Seconds converts a virtual-cycle count to seconds at CyclesPerSecond.
+func Seconds(cycles int64) float64 { return float64(cycles) / CyclesPerSecond }

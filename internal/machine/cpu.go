@@ -1,0 +1,328 @@
+package machine
+
+import "fmt"
+
+// Counters aggregates per-CPU machine-level event counts for one Run.
+type Counters struct {
+	Reads      int64
+	Writes     int64
+	CASes      int64
+	TLBMisses  int64
+	PageFaults int64
+	Interrupts int64
+}
+
+// CPU is one simulated hardware thread. All methods must be called from the
+// goroutine running this CPU's body (see Machine.Run); the scheduler
+// guarantees that only one CPU executes at a time.
+type CPU struct {
+	m   *Machine
+	ID  int
+	now int64
+
+	token   chan struct{}
+	heapIdx int
+	rng     rng
+	fast    bool
+
+	tlb           []int64
+	nextInterrupt int64
+	streamRun     int64
+
+	// OnInterrupt, if non-nil, is invoked when a timer interrupt is
+	// delivered to this CPU. The HTM layer uses it to doom the in-flight
+	// transaction (interrupts discard speculative state on real hardware).
+	OnInterrupt func()
+	// OnPageFault, if non-nil, is invoked when a memory access by this CPU
+	// page-faults. The HTM layer uses it to doom the in-flight transaction.
+	OnPageFault func()
+
+	Counters Counters
+}
+
+func newCPU(m *Machine, id int) *CPU {
+	c := &CPU{
+		m:       m,
+		ID:      id,
+		token:   make(chan struct{}, 1),
+		heapIdx: -1,
+	}
+	return c
+}
+
+func (c *CPU) beginRun(base int64) {
+	c.now = base
+	c.rng = newRNG(c.m.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(c.ID)*0xbf58476d1ce4e5b9 + 1)
+	c.Counters = Counters{}
+	c.tlb = make([]int64, c.m.Cfg.Paging.TLBEntries)
+	for i := range c.tlb {
+		c.tlb[i] = -1
+	}
+	c.nextInterrupt = 0
+	c.scheduleInterrupt()
+}
+
+func (c *CPU) scheduleInterrupt() {
+	mean := c.m.Cfg.Paging.InterruptMean
+	if mean <= 0 {
+		c.nextInterrupt = 1<<63 - 1
+		return
+	}
+	// Uniform in [0.5, 1.5) * mean: jittered periodic timer.
+	c.nextInterrupt = c.now + mean/2 + int64(c.rng.Next()%uint64(mean))
+}
+
+// Machine returns the machine this CPU belongs to.
+func (c *CPU) Machine() *Machine { return c.m }
+
+// Now returns this CPU's virtual clock.
+func (c *CPU) Now() int64 { return c.now }
+
+// Costs returns the machine's cost model.
+func (c *CPU) Costs() *CostModel { return &c.m.Cfg.Costs }
+
+// Intn returns a deterministic pseudo-random int in [0, n).
+func (c *CPU) Intn(n int) int { return c.rng.Intn(n) }
+
+// Float64 returns a deterministic pseudo-random float64 in [0, 1).
+func (c *CPU) Float64() float64 { return c.rng.Float64() }
+
+// Rand64 returns 64 deterministic pseudo-random bits.
+func (c *CPU) Rand64() uint64 { return c.rng.Next() }
+
+// Tick advances this CPU's virtual clock by n cycles of local computation.
+func (c *CPU) Tick(n int64) { c.now += n }
+
+// Work charges n units of ALU work (n * Costs.Work cycles).
+func (c *CPU) Work(n int64) { c.now += n * c.m.Cfg.Costs.Work }
+
+// Sync blocks until this CPU is the scheduler's minimum-time CPU. Every
+// globally visible action must happen between a Sync and the next clock
+// advance so that actions are linearized in virtual-time order.
+func (c *CPU) Sync() {
+	if c.fast {
+		return
+	}
+	if c.now > c.m.Cfg.Deadline {
+		panic(fmt.Sprintf("machine: CPU %d exceeded virtual deadline (%d cycles): livelock?", c.ID, c.m.Cfg.Deadline))
+	}
+	h := &c.m.heap
+	h.fix(c)
+	next := h.min()
+	if next == c {
+		return
+	}
+	next.token <- struct{}{}
+	<-c.token
+}
+
+// Spin charges one spin-loop iteration (plus seeded jitter — see
+// CostModel.SpinJitter) and reschedules. Call it inside busy-wait loops so
+// that waiting advances virtual time.
+func (c *CPU) Spin() {
+	c.SpinFor(1)
+}
+
+// SpinFor charges n spin-loop iterations as a single scheduling step.
+// Waiters polling a slow-changing condition should escalate n (bounded)
+// instead of calling Spin per iteration: the virtual time is the same, but
+// the simulation takes one event instead of n, which is what keeps
+// 80-thread contention scenarios tractable in wall time.
+func (c *CPU) SpinFor(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.now += int64(n) * c.m.Cfg.Costs.SpinIter
+	if j := c.m.Cfg.Costs.SpinJitter; j > 0 {
+		c.now += int64(c.rng.Next() % uint64(int64(n)*j))
+	}
+	c.Sync()
+}
+
+// preAccess delivers any pending timer interrupt and walks the TLB/page
+// tables for address a. It may invoke the OnInterrupt/OnPageFault hooks.
+func (c *CPU) preAccess(a Addr) {
+	if c.fast {
+		return
+	}
+	if c.now >= c.nextInterrupt {
+		c.now += c.m.Cfg.Costs.Interrupt
+		c.Counters.Interrupts++
+		c.Emit(EvInterrupt, a, 0)
+		c.scheduleInterrupt()
+		if c.OnInterrupt != nil {
+			c.OnInterrupt()
+		}
+	}
+	pg := &c.m.pager
+	if !pg.enabled {
+		return
+	}
+	page := int64(a) / pg.pageWords
+	slot := page % int64(len(c.tlb))
+	if c.tlb[slot] == page {
+		return
+	}
+	c.Counters.TLBMisses++
+	c.now += c.m.Cfg.Costs.TLBWalk
+	if !pg.pages[page].resident {
+		c.Counters.PageFaults++
+		c.now += c.m.Cfg.Costs.PageFault
+		c.Emit(EvPageFault, a, uint64(page))
+		pg.makeResident(c.m, page)
+		if c.OnPageFault != nil {
+			c.OnPageFault()
+		}
+	}
+	pg.pages[page].referenced = true
+	c.tlb[slot] = page
+}
+
+// AccessRead charges the coherence cost of reading address a (without
+// transferring data). It is split out so the HTM layer can interpose
+// conflict detection between timing and the data movement.
+func (c *CPU) AccessRead(a Addr) {
+	c.Sync()
+	c.preAccess(a)
+	c.Counters.Reads++
+	c.streamRun = 0
+	if c.fast {
+		return
+	}
+	l := &c.m.lines[c.m.LineOf(a)]
+	t0 := c.now
+	if l.exclUntil > t0 {
+		t0 = l.exclUntil
+	}
+	cost := c.m.Cfg.Costs.L1Hit
+	if int(l.owner) != c.ID && !l.isSharer(c.ID) {
+		cost = c.m.Cfg.Costs.ReadMiss
+		l.addSharer(c.ID)
+	}
+	c.now = t0 + cost
+}
+
+// AccessReadStream charges the coherence cost of reading address a as part
+// of a *streaming scan of independent addresses* (an array sweep such as
+// RW-LE's quiescence scan over per-thread clock lines). Out-of-order
+// hardware overlaps such misses (memory-level parallelism), so consecutive
+// stream misses after the first are charged ReadMiss/MLP. Dependent loads
+// (pointer chasing) must use AccessRead, which pays full latency — the
+// distinction is the caller's responsibility because only the program
+// knows its address dependencies.
+func (c *CPU) AccessReadStream(a Addr) {
+	c.Sync()
+	c.preAccess(a)
+	c.Counters.Reads++
+	if c.fast {
+		return
+	}
+	l := &c.m.lines[c.m.LineOf(a)]
+	t0 := c.now
+	if l.exclUntil > t0 {
+		t0 = l.exclUntil
+	}
+	cost := c.m.Cfg.Costs.L1Hit
+	if int(l.owner) != c.ID && !l.isSharer(c.ID) {
+		cost = c.m.Cfg.Costs.ReadMiss
+		if c.streamRun > 0 {
+			cost /= mlpOverlap
+		}
+		c.streamRun++
+		l.addSharer(c.ID)
+	}
+	c.now = t0 + cost
+}
+
+// mlpOverlap is the miss-overlap factor applied to streaming scans.
+const mlpOverlap = 4
+
+// AccessWrite charges the coherence cost of writing address a: obtaining
+// the line in exclusive state and reserving it for the transfer window.
+func (c *CPU) AccessWrite(a Addr) {
+	c.Sync()
+	c.preAccess(a)
+	c.Counters.Writes++
+	c.streamRun = 0
+	if c.fast {
+		return
+	}
+	l := &c.m.lines[c.m.LineOf(a)]
+	t0 := c.now
+	if l.exclUntil > t0 {
+		t0 = l.exclUntil
+	}
+	if int(l.owner) == c.ID && l.onlySharer(c.ID) {
+		c.now = t0 + c.m.Cfg.Costs.WriteHit
+		return
+	}
+	l.setExclusive(c.ID)
+	l.exclUntil = t0 + c.m.Cfg.Costs.LineTransfer
+	c.now = t0 + c.m.Cfg.Costs.WriteMiss
+}
+
+// Read performs a timed, coherent, non-transactional read of word a.
+// It does not consult the HTM conflict directory; use the htm package for
+// accesses that must interact with speculating transactions.
+func (c *CPU) Read(a Addr) uint64 {
+	c.AccessRead(a)
+	v := c.m.words[a]
+	c.Emit(EvRead, a, v)
+	return v
+}
+
+// Write performs a timed, coherent, non-transactional write of word a.
+func (c *CPU) Write(a Addr, v uint64) {
+	c.AccessWrite(a)
+	c.m.words[a] = v
+	c.Emit(EvWrite, a, v)
+}
+
+// CAS performs a timed compare-and-swap on word a and reports whether it
+// succeeded. Like Read/Write it bypasses the HTM conflict directory.
+func (c *CPU) CAS(a Addr, old, new uint64) bool {
+	c.AccessWrite(a)
+	c.now += c.m.Cfg.Costs.CAS
+	c.Counters.CASes++
+	c.Emit(EvCAS, a, new)
+	if c.m.words[a] != old {
+		return false
+	}
+	c.m.words[a] = new
+	return true
+}
+
+// Fence charges the cost of a memory barrier. Ordering itself is implicit:
+// the simulator is sequentially consistent.
+func (c *CPU) Fence() { c.now += c.m.Cfg.Costs.Fence }
+
+// Alloc allocates n words of simulated memory, charging allocation cost.
+// The memory is zeroed.
+func (c *CPU) Alloc(n int64) Addr {
+	c.now += c.m.Cfg.Costs.Alloc
+	return c.m.allocWords(n, false)
+}
+
+// AllocAligned allocates n words starting on a cache-line boundary,
+// charging allocation cost. The memory is zeroed.
+func (c *CPU) AllocAligned(n int64) Addr {
+	c.now += c.m.Cfg.Costs.Alloc
+	return c.m.allocWords(n, true)
+}
+
+// Free returns a block previously obtained from Alloc (NOT AllocAligned)
+// with the same size to the allocator.
+func (c *CPU) Free(a Addr, n int64) {
+	c.now += c.m.Cfg.Costs.Alloc / 2
+	c.m.freeWords(a, n, false)
+}
+
+// FreeAligned returns a block previously obtained from AllocAligned with
+// the same requested size to the allocator. Aligned blocks live in their
+// own (line-rounded) size classes, so they must be released through this
+// call — releasing them through Free strands them in a class no aligned
+// allocation ever searches.
+func (c *CPU) FreeAligned(a Addr, n int64) {
+	c.now += c.m.Cfg.Costs.Alloc / 2
+	c.m.freeWords(a, n, true)
+}

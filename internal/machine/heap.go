@@ -1,0 +1,87 @@
+package machine
+
+// cpuHeap is a binary min-heap of runnable CPUs ordered by virtual time,
+// with CPU ID as the tie-breaker so scheduling is deterministic. Each CPU
+// caches its heap index for O(log n) key updates.
+type cpuHeap struct{ cpus []*CPU }
+
+func (h *cpuHeap) len() int { return len(h.cpus) }
+
+func (h *cpuHeap) less(i, j int) bool {
+	a, b := h.cpus[i], h.cpus[j]
+	if a.now != b.now {
+		return a.now < b.now
+	}
+	return a.ID < b.ID
+}
+
+func (h *cpuHeap) swap(i, j int) {
+	h.cpus[i], h.cpus[j] = h.cpus[j], h.cpus[i]
+	h.cpus[i].heapIdx = i
+	h.cpus[j].heapIdx = j
+}
+
+func (h *cpuHeap) push(c *CPU) {
+	c.heapIdx = len(h.cpus)
+	h.cpus = append(h.cpus, c)
+	h.up(c.heapIdx)
+}
+
+// min returns the CPU with the smallest virtual time without removing it.
+func (h *cpuHeap) min() *CPU {
+	if len(h.cpus) == 0 {
+		return nil
+	}
+	return h.cpus[0]
+}
+
+// remove deletes CPU c from the heap.
+func (h *cpuHeap) remove(c *CPU) {
+	i := c.heapIdx
+	last := len(h.cpus) - 1
+	if i != last {
+		h.swap(i, last)
+	}
+	h.cpus = h.cpus[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	c.heapIdx = -1
+}
+
+// fix restores heap order after c's virtual time changed.
+func (h *cpuHeap) fix(c *CPU) {
+	h.down(c.heapIdx)
+	h.up(c.heapIdx)
+}
+
+func (h *cpuHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *cpuHeap) down(i int) {
+	n := len(h.cpus)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,269 @@
+// Package machine implements a deterministic discrete-event simulator of a
+// shared-memory multiprocessor. It is the substrate on which the rest of
+// this repository — a software POWER8-style HTM, the RW-LE lock-elision
+// algorithm, the baseline locks, and the benchmark applications — executes.
+//
+// Each simulated hardware thread (CPU) runs as a goroutine, but exactly one
+// CPU executes at any moment: a token is passed between goroutines so that
+// the CPU with the smallest virtual clock always runs next. All shared
+// simulator state is therefore mutated race-free and every run is
+// bit-for-bit reproducible from its seed, regardless of how many physical
+// cores the host has.
+//
+// The simulator models the parts of the memory system that synchronization
+// performance depends on:
+//
+//   - a flat, word-addressed memory with a line-granular coherence timing
+//     model (hit/miss costs, exclusive-line transfer reservations that
+//     serialize hot-line ping-pong);
+//   - an optional virtual-memory model (per-CPU TLBs, demand paging with a
+//     residency limit and CLOCK eviction, timer interrupts) whose faults
+//     and interrupts abort hardware transactions, as on real hardware;
+//   - a simple dynamic allocator over the simulated memory.
+package machine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Addr is a word address in simulated memory. Words are 64 bits wide.
+// Address 0 is reserved as the nil address.
+type Addr int64
+
+// MaxCPUs is the maximum number of simulated hardware threads.
+const MaxCPUs = 128
+
+// PagingConfig configures the simulated virtual-memory subsystem.
+type PagingConfig struct {
+	// Enabled turns on TLB/paging simulation. When false, memory accesses
+	// pay only coherence costs.
+	Enabled bool
+	// PageWords is the page size in words (default 512 = 4 KiB).
+	PageWords int64
+	// ResidentLimit caps the number of simultaneously resident pages;
+	// 0 means unlimited (no page-fault thrashing).
+	ResidentLimit int64
+	// TLBEntries is the number of per-CPU direct-mapped TLB entries
+	// (default 128).
+	TLBEntries int
+	// InterruptMean, when non-zero, delivers a timer interrupt to each CPU
+	// on average every InterruptMean cycles. Interrupts abort in-flight
+	// hardware transactions (via the CPU's OnInterrupt hook).
+	InterruptMean int64
+}
+
+// Config configures a simulated machine.
+type Config struct {
+	// CPUs is the number of simulated hardware threads (1..MaxCPUs).
+	CPUs int
+	// MemWords is the size of simulated memory in 64-bit words.
+	MemWords int64
+	// LineWords is the cache-line size in words (default 16 = 128 B,
+	// matching POWER8).
+	LineWords int64
+	// Seed seeds all per-CPU random streams.
+	Seed uint64
+	// Costs is the virtual-cycle cost model; zero value means DefaultCosts.
+	Costs CostModel
+	// Paging configures the VM subsystem.
+	Paging PagingConfig
+	// Deadline aborts the simulation (panic) if any CPU's virtual clock
+	// exceeds it; it catches livelocks. 0 means 1e14 cycles.
+	Deadline int64
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 1
+	}
+	if cfg.CPUs > MaxCPUs {
+		panic(fmt.Sprintf("machine: %d CPUs exceeds MaxCPUs=%d", cfg.CPUs, MaxCPUs))
+	}
+	if cfg.MemWords <= 0 {
+		cfg.MemWords = 1 << 20
+	}
+	if cfg.LineWords == 0 {
+		cfg.LineWords = 16
+	}
+	if cfg.LineWords&(cfg.LineWords-1) != 0 {
+		panic("machine: LineWords must be a power of two")
+	}
+	if cfg.Costs == (CostModel{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	if cfg.Paging.PageWords == 0 {
+		cfg.Paging.PageWords = 512
+	}
+	if cfg.Paging.TLBEntries == 0 {
+		cfg.Paging.TLBEntries = 128
+	}
+	if cfg.Deadline == 0 {
+		cfg.Deadline = 1e14
+	}
+}
+
+// line holds per-cache-line coherence state: the time until which the line
+// is reserved by an exclusive transfer, the last exclusive owner, and a
+// bitmap of CPUs that have read the line since the last write.
+type line struct {
+	exclUntil int64
+	owner     int32
+	sharers   [2]uint64
+}
+
+func (l *line) isSharer(id int) bool { return l.sharers[id>>6]&(1<<(uint(id)&63)) != 0 }
+func (l *line) addSharer(id int)     { l.sharers[id>>6] |= 1 << (uint(id) & 63) }
+func (l *line) setExclusive(id int) {
+	l.owner = int32(id)
+	l.sharers = [2]uint64{}
+	l.addSharer(id)
+}
+func (l *line) onlySharer(id int) bool {
+	var want [2]uint64
+	want[id>>6] = 1 << (uint(id) & 63)
+	return l.sharers == want
+}
+
+// Machine is a simulated shared-memory multiprocessor.
+type Machine struct {
+	Cfg       Config
+	words     []uint64
+	lines     []line
+	cpus      []*CPU
+	heap      cpuHeap
+	pager     pager
+	alloc     arena
+	baseTime  int64
+	lineShift uint
+
+	tracer Tracer
+
+	runErr  any
+	runOnce sync.Mutex
+}
+
+// New creates a machine with the given configuration.
+func New(cfg Config) *Machine {
+	cfg.applyDefaults()
+	m := &Machine{Cfg: cfg}
+	for s := int64(1); s < cfg.LineWords; s <<= 1 {
+		m.lineShift++
+	}
+	nLines := (cfg.MemWords + cfg.LineWords - 1) >> m.lineShift
+	m.words = make([]uint64, cfg.MemWords)
+	m.lines = make([]line, nLines)
+	for i := range m.lines {
+		m.lines[i].owner = -1
+	}
+	m.pager.init(cfg)
+	m.alloc.init(cfg.MemWords, cfg.LineWords)
+	m.cpus = make([]*CPU, cfg.CPUs)
+	for i := range m.cpus {
+		m.cpus[i] = newCPU(m, i)
+	}
+	return m
+}
+
+// NumLines returns the number of cache lines covering simulated memory.
+// Layers above (e.g. the HTM conflict directory) size their per-line
+// metadata from it.
+func (m *Machine) NumLines() int { return len(m.lines) }
+
+// LineOf returns the cache-line index of address a.
+func (m *Machine) LineOf(a Addr) int64 { return int64(a) >> m.lineShift }
+
+// Peek reads a word of simulated memory without charging time. It must only
+// be called by the token-holding CPU or outside Run.
+func (m *Machine) Peek(a Addr) uint64 { return m.words[a] }
+
+// Poke writes a word of simulated memory without charging time. It must
+// only be called by the token-holding CPU or outside Run.
+func (m *Machine) Poke(a Addr, v uint64) { m.words[a] = v }
+
+// CPU returns the simulated CPU with the given ID.
+func (m *Machine) CPU(id int) *CPU { return m.cpus[id] }
+
+// Now returns the current global virtual time (the maximum over all CPUs).
+func (m *Machine) Now() int64 {
+	t := m.baseTime
+	for _, c := range m.cpus {
+		if c.now > t {
+			t = c.now
+		}
+	}
+	return t
+}
+
+// Setup runs body on CPU 0 in fast mode: no virtual time is charged, no
+// paging or interrupts fire, and no scheduling happens. Use it to populate
+// data structures through the same code paths the measured run uses.
+func (m *Machine) Setup(body func(*CPU)) {
+	c := m.cpus[0]
+	c.fast = true
+	defer func() { c.fast = false }()
+	body(c)
+}
+
+// Run executes body on CPUs 0..threads-1 concurrently in virtual time and
+// returns the elapsed virtual cycles (the time at which the last CPU
+// finished, minus the start time). Virtual time is monotonic across
+// successive Runs on the same machine.
+func (m *Machine) Run(threads int, body func(*CPU)) int64 {
+	if threads <= 0 || threads > len(m.cpus) {
+		panic(fmt.Sprintf("machine: Run with %d threads (have %d CPUs)", threads, len(m.cpus)))
+	}
+	m.runOnce.Lock()
+	defer m.runOnce.Unlock()
+
+	base := m.Now()
+	m.baseTime = base
+	m.heap = cpuHeap{}
+	m.runErr = nil
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	active := m.cpus[:threads]
+	for _, c := range active {
+		c.beginRun(base)
+		m.heap.push(c)
+	}
+	for _, c := range active {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if m.runErr == nil {
+						m.runErr = r
+					}
+				}
+				m.finishCPU(c, done)
+			}()
+			<-c.token
+			body(c)
+		}(c)
+	}
+	// Hand the token to the first CPU.
+	m.heap.min().token <- struct{}{}
+	<-done
+	wg.Wait()
+	if m.runErr != nil {
+		panic(m.runErr)
+	}
+	end := m.Now()
+	return end - base
+}
+
+// finishCPU removes c from the scheduler and passes the token on (or
+// signals completion if c was the last runnable CPU).
+func (m *Machine) finishCPU(c *CPU, done chan struct{}) {
+	if c.heapIdx >= 0 {
+		m.heap.remove(c)
+	}
+	if next := m.heap.min(); next != nil {
+		next.token <- struct{}{}
+	} else {
+		close(done)
+	}
+}

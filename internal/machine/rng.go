@@ -1,0 +1,35 @@
+package machine
+
+// rng is a SplitMix64 pseudo-random generator. Each CPU owns one stream,
+// seeded deterministically from the machine seed and the CPU ID, so every
+// simulation is bit-for-bit reproducible.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return rng{state: seed}
+}
+
+// Next returns the next 64 pseudo-random bits.
+func (r *rng) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *rng) Intn(n int) int {
+	if n <= 0 {
+		panic("machine: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *rng) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}

@@ -1,0 +1,105 @@
+package machine
+
+// EventKind classifies trace events emitted by the simulator and the
+// layers above it (the htm and core packages emit through the same sink so
+// a trace interleaves hardware and algorithm activity in virtual-time
+// order).
+type EventKind uint8
+
+const (
+	// Machine-level events.
+	EvRead EventKind = iota
+	EvWrite
+	EvCAS
+	EvPageFault
+	EvInterrupt
+	// HTM-level events (emitted by internal/htm).
+	EvTxBegin
+	EvTxCommit
+	EvTxAbort
+	EvTxSuspend
+	EvTxResume
+	EvTxDoom
+	// Algorithm-level events (emitted by internal/core).
+	EvQuiesceStart
+	EvQuiesceEnd
+	EvPathSwitch
+)
+
+var eventNames = [...]string{
+	"read", "write", "cas", "page-fault", "interrupt",
+	"tx-begin", "tx-commit", "tx-abort", "tx-suspend", "tx-resume", "tx-doom",
+	"quiesce-start", "quiesce-end", "path-switch",
+}
+
+func (k EventKind) String() string { return eventNames[k] }
+
+// Event is one trace record. Addr and Aux are event-specific: memory
+// events carry the address and value; tx-abort carries the abort cause in
+// Aux; path-switch carries the new path index.
+type Event struct {
+	Time int64
+	CPU  int
+	Kind EventKind
+	Addr Addr
+	Aux  uint64
+}
+
+// Tracer receives every event when tracing is enabled. Implementations
+// must not call back into the machine.
+type Tracer interface {
+	Event(e Event)
+}
+
+// SetTracer installs (or, with nil, removes) the event sink. Tracing slows
+// the simulation down; it does not change virtual time.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// Emit sends an event to the tracer, if any, stamping the CPU and time.
+// Layers above the machine use it to contribute their own events.
+func (c *CPU) Emit(kind EventKind, a Addr, aux uint64) {
+	if t := c.m.tracer; t != nil {
+		t.Event(Event{Time: c.now, CPU: c.ID, Kind: kind, Addr: a, Aux: aux})
+	}
+}
+
+// RingTracer is a fixed-capacity in-memory tracer that keeps the most
+// recent events.
+type RingTracer struct {
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRingTracer creates a tracer holding up to n events.
+func NewRingTracer(n int) *RingTracer { return &RingTracer{buf: make([]Event, 0, n)} }
+
+// Event implements Tracer.
+func (r *RingTracer) Event(e Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total returns how many events were observed (including evicted ones).
+func (r *RingTracer) Total() int64 { return r.total }
+
+// Events returns the retained events in arrival order.
+func (r *RingTracer) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// CountTracer tallies events by kind (cheap enough to leave on).
+type CountTracer struct {
+	Counts [len(eventNames)]int64
+}
+
+// Event implements Tracer.
+func (c *CountTracer) Event(e Event) { c.Counts[e.Kind]++ }

@@ -1,0 +1,69 @@
+package machine
+
+import "testing"
+
+func TestRingTracerWraps(t *testing.T) {
+	r := NewRingTracer(4)
+	for i := 0; i < 10; i++ {
+		r.Event(Event{Time: int64(i)})
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	for i, e := range evs {
+		if e.Time != int64(6+i) {
+			t.Errorf("event %d time %d, want %d (oldest-first order)", i, e.Time, 6+i)
+		}
+	}
+}
+
+func TestTracerReceivesMachineEvents(t *testing.T) {
+	m := New(testConfig(2))
+	var ct CountTracer
+	m.SetTracer(&ct)
+	m.Run(2, func(c *CPU) {
+		c.Write(Addr(64+c.ID*16), 1)
+		c.Read(Addr(64 + c.ID*16))
+		c.CAS(256, 0, uint64(c.ID))
+	})
+	if ct.Counts[EvWrite] != 2 || ct.Counts[EvRead] != 2 || ct.Counts[EvCAS] != 2 {
+		t.Errorf("counts = w:%d r:%d cas:%d", ct.Counts[EvWrite], ct.Counts[EvRead], ct.Counts[EvCAS])
+	}
+}
+
+func TestTracerPageFaults(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Paging = PagingConfig{Enabled: true, PageWords: 64, ResidentLimit: 2, TLBEntries: 2}
+	m := New(cfg)
+	var ct CountTracer
+	m.SetTracer(&ct)
+	m.Run(1, func(c *CPU) {
+		for p := int64(0); p < 8; p++ {
+			c.Read(Addr(p * 64))
+		}
+	})
+	if ct.Counts[EvPageFault] < 8 {
+		t.Errorf("page-fault events = %d, want >= 8", ct.Counts[EvPageFault])
+	}
+}
+
+func TestNoTracerNoOverheadPath(t *testing.T) {
+	// Emit with no tracer installed must be a no-op (and not panic).
+	m := New(testConfig(1))
+	m.Run(1, func(c *CPU) {
+		c.Emit(EvRead, 0, 0)
+		c.Write(64, 1)
+	})
+}
+
+func TestEventKindNames(t *testing.T) {
+	for k := EvRead; k <= EvPathSwitch; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

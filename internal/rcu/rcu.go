@@ -1,0 +1,104 @@
+// Package rcu implements Read-Copy-Update over the simulated machine, as a
+// comparator for the paper's related-work discussion (§2): RCU and RLU
+// "allow both read and write critical sections to execute concurrently...
+// Despite being very efficient for read-dominated workloads, both
+// techniques require tailored code for each application". RW-LE's pitch is
+// getting most of that concurrency *without* modifying the data-structure
+// code; this package supplies the tailored-code yardstick (see the
+// "ext-rcu" experiment).
+//
+// The runtime is classic epoch-based RCU: readers bracket their critical
+// sections with per-thread clock increments (odd = inside), and a writer's
+// Synchronize waits until every reader active at the call has left its
+// section. Updaters serialize on a mutex, publish changes with single-word
+// pointer stores (atomic in the sequentially consistent simulator, as on
+// hardware with release stores), and defer reclamation until after a grace
+// period.
+package rcu
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+// Domain is one RCU domain: a set of reader clocks plus the updater mutex.
+type Domain struct {
+	nthreads int
+	clocks   machine.Addr
+	updMutex machine.Addr
+	lineW    machine.Addr
+}
+
+// NewDomain creates an RCU domain covering every CPU of the machine.
+func NewDomain(m *machine.Machine) *Domain {
+	return &Domain{
+		nthreads: m.Cfg.CPUs,
+		clocks:   m.AllocRawAligned(int64(m.Cfg.CPUs) * m.Cfg.LineWords),
+		updMutex: m.AllocRawAligned(1),
+		lineW:    machine.Addr(m.Cfg.LineWords),
+	}
+}
+
+func (d *Domain) clockAddr(id int) machine.Addr { return d.clocks + machine.Addr(id)*d.lineW }
+
+// ReadLock enters a read-side critical section (rcu_read_lock).
+func (d *Domain) ReadLock(t *htm.Thread) {
+	ca := d.clockAddr(t.C.ID)
+	t.Store(ca, t.Load(ca)+1)
+	t.C.Fence()
+}
+
+// ReadUnlock leaves the read-side critical section (rcu_read_unlock).
+func (d *Domain) ReadUnlock(t *htm.Thread) {
+	ca := d.clockAddr(t.C.ID)
+	t.Store(ca, t.Load(ca)+1)
+}
+
+// Read runs cs as an RCU read-side critical section and accounts it as an
+// uninstrumented commit (the fair comparison to RW-LE's readers).
+func (d *Domain) Read(t *htm.Thread, cs func()) {
+	t.St.ReadCS++
+	d.ReadLock(t)
+	cs()
+	d.ReadUnlock(t)
+	t.St.Commits[stats.CommitUninstrumented]++
+}
+
+// UpdateLock serializes updaters (RCU's external update-side lock).
+func (d *Domain) UpdateLock(t *htm.Thread) {
+	var poll int = 1
+	for {
+		if t.Load(d.updMutex) == 0 && t.CAS(d.updMutex, 0, 1) {
+			return
+		}
+		t.C.SpinFor(poll)
+		if poll < 64 {
+			poll *= 2
+		}
+	}
+}
+
+// UpdateUnlock releases the update-side lock.
+func (d *Domain) UpdateUnlock(t *htm.Thread) { t.Store(d.updMutex, 0) }
+
+// Synchronize waits for a grace period: every reader inside a critical
+// section at the time of the call has left it (synchronize_rcu).
+func (d *Domain) Synchronize(t *htm.Thread) {
+	snap := make([]uint64, d.nthreads)
+	for i := 0; i < d.nthreads; i++ {
+		snap[i] = t.LoadStream(d.clockAddr(i))
+	}
+	for i := 0; i < d.nthreads; i++ {
+		if snap[i]&1 == 0 {
+			continue
+		}
+		poll := 1
+		for t.Load(d.clockAddr(i)) == snap[i] {
+			t.C.SpinFor(poll)
+			if poll < 32 {
+				poll *= 2
+			}
+		}
+	}
+}

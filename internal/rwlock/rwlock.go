@@ -1,0 +1,26 @@
+// Package rwlock defines the read-write lock interface shared by the RW-LE
+// algorithm (internal/core) and the baseline synchronization schemes
+// (internal/locks). Benchmark applications are written against this
+// interface so every scheme runs the identical workload.
+//
+// Critical sections are expressed as closures because elision schemes may
+// execute them speculatively and re-run them after an abort; bodies must
+// therefore be restartable (all their effects go through the htm.Thread,
+// whose speculative writes are rolled back on abort).
+package rwlock
+
+import "hrwle/internal/htm"
+
+// Lock is a read-write lock (possibly elided) for simulated threads.
+type Lock interface {
+	// Read runs cs as a read-side critical section on thread t.
+	Read(t *htm.Thread, cs func())
+	// Write runs cs as a write-side critical section on thread t.
+	Write(t *htm.Thread, cs func())
+	// Name identifies the scheme in reports (e.g. "RW-LE_OPT", "HLE").
+	Name() string
+}
+
+// Factory builds a lock instance bound to an HTM system; the harness uses
+// it to instantiate each scheme on a fresh machine.
+type Factory func(sys *htm.System) Lock

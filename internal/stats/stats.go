@@ -1,0 +1,188 @@
+// Package stats collects the commit-path and abort-cause breakdowns that
+// the paper's evaluation figures report. The categories match the figure
+// legends of Felber et al. (EuroSys'16) exactly:
+//
+//	Aborts:  "HTM tx", "HTM non-tx", "HTM capacity", "Lock aborts",
+//	         "ROT conflicts", "ROT capacity"
+//	Commits: "HTM", "ROT", "SGL", "Uninstrumented"
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AbortCause classifies why a hardware transaction aborted.
+type AbortCause int
+
+const (
+	// AbortConflictTx: a regular HTM transaction aborted due to a conflict
+	// with another hardware transaction.
+	AbortConflictTx AbortCause = iota
+	// AbortConflictNonTx: a regular HTM transaction aborted due to a
+	// conflict with non-transactional code (a thread acquiring the global
+	// lock, an uninstrumented reader, or the VM subsystem: page faults and
+	// interrupts).
+	AbortConflictNonTx
+	// AbortCapacity: a regular HTM transaction exceeded the speculative
+	// storage budget.
+	AbortCapacity
+	// AbortLockBusy: a transaction self-aborted because it found the
+	// elided lock busy upon subscription.
+	AbortLockBusy
+	// AbortROTConflict: a rollback-only transaction aborted due to a
+	// conflict (any source).
+	AbortROTConflict
+	// AbortROTCapacity: a rollback-only transaction exceeded the (write)
+	// storage budget.
+	AbortROTCapacity
+	// AbortExplicit: an explicit user abort not covered above.
+	AbortExplicit
+
+	NumAbortCauses = int(AbortExplicit) + 1
+)
+
+var abortNames = [...]string{
+	"HTM tx", "HTM non-tx", "HTM capacity", "Lock aborts",
+	"ROT conflicts", "ROT capacity", "explicit",
+}
+
+func (c AbortCause) String() string { return abortNames[c] }
+
+// CommitPath classifies how a critical section ultimately completed.
+type CommitPath int
+
+const (
+	// CommitHTM: committed as a regular hardware transaction.
+	CommitHTM CommitPath = iota
+	// CommitROT: committed as a rollback-only transaction.
+	CommitROT
+	// CommitSGL: executed under the non-speculative global lock.
+	CommitSGL
+	// CommitUninstrumented: executed with no speculation and no global
+	// lock — RW-LE's read-side critical sections.
+	CommitUninstrumented
+
+	NumCommitPaths = int(CommitUninstrumented) + 1
+)
+
+var commitNames = [...]string{"HTM", "ROT", "SGL", "Uninstrumented"}
+
+func (p CommitPath) String() string { return commitNames[p] }
+
+// Thread accumulates one simulated thread's events. The simulator runs one
+// CPU at a time, so plain counters are race-free.
+type Thread struct {
+	TxStarts    int64 // HTM + ROT begins
+	Aborts      [NumAbortCauses]int64
+	Commits     [NumCommitPaths]int64
+	Ops         int64 // application-level operations completed
+	ReadCS      int64 // read-side critical sections entered
+	WriteCS     int64 // write-side critical sections entered
+	QuiesceWait int64 // cycles spent waiting in RWLE_SYNCHRONIZE
+}
+
+// Reset zeroes all counters.
+func (t *Thread) Reset() { *t = Thread{} }
+
+// Breakdown is the aggregate of all threads for one run.
+type Breakdown struct {
+	Threads  int
+	Cycles   int64
+	TxStarts int64
+	Aborts   [NumAbortCauses]int64
+	Commits  [NumCommitPaths]int64
+	Ops      int64
+	ReadCS   int64
+	WriteCS  int64
+}
+
+// Merge aggregates per-thread counters into a Breakdown.
+func Merge(threads []*Thread, cycles int64) Breakdown {
+	b := Breakdown{Threads: len(threads), Cycles: cycles}
+	for _, t := range threads {
+		b.TxStarts += t.TxStarts
+		b.Ops += t.Ops
+		b.ReadCS += t.ReadCS
+		b.WriteCS += t.WriteCS
+		for i := range t.Aborts {
+			b.Aborts[i] += t.Aborts[i]
+		}
+		for i := range t.Commits {
+			b.Commits[i] += t.Commits[i]
+		}
+	}
+	return b
+}
+
+// TotalAborts returns the number of aborted transactions.
+func (b *Breakdown) TotalAborts() int64 {
+	var n int64
+	for _, v := range b.Aborts {
+		n += v
+	}
+	return n
+}
+
+// TotalCommits returns the number of completed critical sections.
+func (b *Breakdown) TotalCommits() int64 {
+	var n int64
+	for _, v := range b.Commits {
+		n += v
+	}
+	return n
+}
+
+// AbortRate returns aborted transactions as a percentage of transaction
+// attempts (the paper's "Aborts (%)" panel).
+func (b *Breakdown) AbortRate() float64 {
+	if b.TxStarts == 0 {
+		return 0
+	}
+	return 100 * float64(b.TotalAborts()) / float64(b.TxStarts)
+}
+
+// AbortPct returns the share of cause c among transaction attempts.
+func (b *Breakdown) AbortPct(c AbortCause) float64 {
+	if b.TxStarts == 0 {
+		return 0
+	}
+	return 100 * float64(b.Aborts[c]) / float64(b.TxStarts)
+}
+
+// CommitPct returns the share of path p among completed critical sections
+// (the paper's "Commits (%)" panel).
+func (b *Breakdown) CommitPct(p CommitPath) float64 {
+	total := b.TotalCommits()
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(b.Commits[p]) / float64(total)
+}
+
+// AbortsHeader returns the column header for FormatAborts.
+func AbortsHeader() string {
+	cols := make([]string, NumAbortCauses)
+	for i := range cols {
+		cols[i] = abortNames[i]
+	}
+	return strings.Join(cols, " | ")
+}
+
+// FormatAborts renders the abort breakdown as percentages of attempts.
+func (b *Breakdown) FormatAborts() string {
+	parts := make([]string, NumAbortCauses)
+	for i := 0; i < NumAbortCauses; i++ {
+		parts[i] = fmt.Sprintf("%5.1f", b.AbortPct(AbortCause(i)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// FormatCommits renders the commit breakdown as percentages.
+func (b *Breakdown) FormatCommits() string {
+	parts := make([]string, NumCommitPaths)
+	for i := 0; i < NumCommitPaths; i++ {
+		parts[i] = fmt.Sprintf("%s=%5.1f%%", commitNames[i], b.CommitPct(CommitPath(i)))
+	}
+	return strings.Join(parts, " ")
+}

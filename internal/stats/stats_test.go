@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeAndPercentages(t *testing.T) {
+	t1 := &Thread{TxStarts: 10, Ops: 5}
+	t1.Aborts[AbortCapacity] = 2
+	t1.Commits[CommitHTM] = 8
+	t2 := &Thread{TxStarts: 10, Ops: 5}
+	t2.Aborts[AbortROTConflict] = 3
+	t2.Commits[CommitROT] = 7
+	t2.Commits[CommitUninstrumented] = 5
+
+	b := Merge([]*Thread{t1, t2}, 1000)
+	if b.TxStarts != 20 || b.Ops != 10 || b.Cycles != 1000 {
+		t.Errorf("merge wrong: %+v", b)
+	}
+	if b.TotalAborts() != 5 {
+		t.Errorf("TotalAborts = %d", b.TotalAborts())
+	}
+	if got := b.AbortRate(); got != 25 {
+		t.Errorf("AbortRate = %v, want 25", got)
+	}
+	if got := b.AbortPct(AbortCapacity); got != 10 {
+		t.Errorf("AbortPct(capacity) = %v, want 10", got)
+	}
+	if b.TotalCommits() != 20 {
+		t.Errorf("TotalCommits = %d", b.TotalCommits())
+	}
+	if got := b.CommitPct(CommitHTM); got != 40 {
+		t.Errorf("CommitPct(HTM) = %v, want 40", got)
+	}
+}
+
+func TestZeroSafe(t *testing.T) {
+	var b Breakdown
+	if b.AbortRate() != 0 || b.CommitPct(CommitHTM) != 0 || b.AbortPct(AbortCapacity) != 0 {
+		t.Error("zero breakdown not safe")
+	}
+}
+
+func TestNamesMatchPaperLegends(t *testing.T) {
+	wantAborts := []string{"HTM tx", "HTM non-tx", "HTM capacity", "Lock aborts", "ROT conflicts", "ROT capacity"}
+	for i, w := range wantAborts {
+		if AbortCause(i).String() != w {
+			t.Errorf("abort cause %d = %q, want %q", i, AbortCause(i), w)
+		}
+	}
+	wantCommits := []string{"HTM", "ROT", "SGL", "Uninstrumented"}
+	for i, w := range wantCommits {
+		if CommitPath(i).String() != w {
+			t.Errorf("commit path %d = %q, want %q", i, CommitPath(i), w)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	var th Thread
+	th.TxStarts = 4
+	th.Aborts[AbortConflictTx] = 1
+	th.Commits[CommitSGL] = 3
+	b := Merge([]*Thread{&th}, 10)
+	if !strings.Contains(AbortsHeader(), "ROT capacity") {
+		t.Error("header incomplete")
+	}
+	if !strings.Contains(b.FormatAborts(), "25.0") {
+		t.Errorf("FormatAborts = %q", b.FormatAborts())
+	}
+	if !strings.Contains(b.FormatCommits(), "SGL=100.0%") {
+		t.Errorf("FormatCommits = %q", b.FormatCommits())
+	}
+}
+
+func TestReset(t *testing.T) {
+	th := Thread{TxStarts: 5}
+	th.Reset()
+	if th.TxStarts != 0 {
+		t.Error("Reset incomplete")
+	}
+}

@@ -1,0 +1,117 @@
+package stmbench7
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/rwlock"
+)
+
+// Mix drives the benchmark's operation selection: with probability
+// writePct an update operation runs under the write lock, otherwise a
+// read-only operation runs under the read lock. Within a class, operations
+// are drawn uniformly (the benchmark's default mix).
+type Mix struct {
+	readOnly []Op
+	updates  []Op
+	writePct int
+}
+
+// NewMix builds the default 24-operation mix with the given update ratio.
+func NewMix(writePct int) *Mix {
+	ro, up := SplitOps()
+	return &Mix{readOnly: ro, updates: up, writePct: writePct}
+}
+
+// Step executes one operation on behalf of thread t under lock.
+func (x *Mix) Step(b *Bench, lock rwlock.Lock, t *htm.Thread, c *machine.CPU) {
+	if c.Intn(100) < x.writePct {
+		op := x.updates[c.Intn(len(x.updates))]
+		lock.Write(t, func() { op.Run(b, t, c) })
+	} else {
+		op := x.readOnly[c.Intn(len(x.readOnly))]
+		lock.Read(t, func() { op.Run(b, t, c) })
+	}
+	t.St.Ops++
+}
+
+// SumXY returns Σ(x+y) over all atomic parts (raw walk; test invariant —
+// preserved by every update operation in the mix).
+func (b *Bench) SumXY() uint64 {
+	var sum uint64
+	for _, p := range b.AtomicParts {
+		sum += b.M.Peek(p+apX) + b.M.Peek(p+apY)
+	}
+	return sum
+}
+
+// SumConnLengths returns Σ(connection lengths) over all parts (raw walk;
+// preserved by opRotateConnLengths and untouched by everything else).
+func (b *Bench) SumConnLengths() uint64 {
+	var sum uint64
+	for _, p := range b.AtomicParts {
+		nc := int(b.M.Peek(p + apNConn))
+		for k := 0; k < nc; k++ {
+			sum += b.M.Peek(p + apConnBase + machine.Addr(k*apConnStep) + 1)
+		}
+	}
+	return sum
+}
+
+// CheckStructure validates referential integrity of the object graph:
+// every part belongs to its composite, every composite's root part is in
+// its own part array, every base assembly links composites, and the
+// assembly tree is intact up to the module root. Returns "" if sound.
+func (b *Bench) CheckStructure() string {
+	m := b.M
+	for _, comp := range b.CompositeParts {
+		arr := machine.Addr(m.Peek(comp + cpPartsArr))
+		n := int(m.Peek(comp + cpNParts))
+		if n != b.Cfg.PartsPerComposite {
+			return "composite part count corrupted"
+		}
+		rootSeen := false
+		root := m.Peek(comp + cpRootPart)
+		for j := 0; j < n; j++ {
+			p := machine.Addr(m.Peek(arr + machine.Addr(j)))
+			if m.Peek(p+apPartOf) != uint64(comp) {
+				return "part does not belong to its composite"
+			}
+			if uint64(p) == root {
+				rootSeen = true
+			}
+			nc := int(m.Peek(p + apNConn))
+			if nc != b.Cfg.ConnsPerPart {
+				return "connection count corrupted"
+			}
+		}
+		if !rootSeen {
+			return "composite root part not in part array"
+		}
+		doc := machine.Addr(m.Peek(comp + cpDocument))
+		if m.Peek(doc+docPart) != uint64(comp) {
+			return "document does not point back to composite"
+		}
+	}
+	for _, ba := range b.BaseAssemblies {
+		n := int(m.Peek(ba + baNComp))
+		if n != b.Cfg.AssmFanout {
+			return "base assembly fanout corrupted"
+		}
+		// Walk to the root.
+		a := machine.Addr(m.Peek(ba + baSuper))
+		steps := 0
+		for a != 0 {
+			if steps++; steps > b.Cfg.AssmLevels {
+				return "assembly tree too deep (cycle?)"
+			}
+			a = machine.Addr(m.Peek(a + caSuper))
+		}
+		if steps != b.Cfg.AssmLevels-1 {
+			return "assembly path length wrong"
+		}
+	}
+	if machine.Addr(m.Peek(b.Module+modDesignRoot)) == 0 {
+		return "module lost its design root"
+	}
+	return ""
+}

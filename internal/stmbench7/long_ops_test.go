@@ -1,0 +1,111 @@
+package stmbench7
+
+import (
+	"testing"
+
+	"hrwle/internal/core"
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+func TestT1VisitsEveryReference(t *testing.T) {
+	sys, b := buildSmall(1, 20)
+	// Count composite references in the tree raw.
+	wantRefs := int64(len(b.BaseAssemblies) * b.Cfg.AssmFanout)
+	var got int64
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		root := machine.Addr(sys.M.Peek(b.Module + modDesignRoot))
+		walkAssembly(th, root, func(comp machine.Addr) { got++ })
+	})
+	if got != wantRefs {
+		t.Errorf("walked %d composite references, want %d", got, wantRefs)
+	}
+}
+
+func TestLongTraversalsPreserveInvariants(t *testing.T) {
+	sys, b := buildSmall(1, 21)
+	sum := b.SumXY()
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		opT1FullTraversal(b, th, c)
+		opT2FullUpdate(b, th, c)
+		opT2FullUpdate(b, th, c)
+	})
+	if b.SumXY() != sum {
+		t.Error("T2 broke Σ(x+y)")
+	}
+	if msg := b.CheckStructure(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestStructuralModsKeepStructureSound(t *testing.T) {
+	sys, b := buildSmall(1, 22)
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		for i := 0; i < 60; i++ {
+			switch i % 3 {
+			case 0:
+				opSMRewireAssembly(b, th, c)
+			case 1:
+				opSMReverseParts(b, th, c)
+			default:
+				opSMRerouteConnection(b, th, c)
+			}
+		}
+	})
+	if msg := b.CheckStructure(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestT1ExceedsHTMCapacity(t *testing.T) {
+	// The reason the paper disables long traversals under lock elision:
+	// T1's read set spans the whole database.
+	sys, b := buildSmall(1, 23)
+	var st htm.Status
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		st = th.Try(false, func() { opT1FullTraversal(b, th, c) })
+	})
+	if st.OK {
+		t.Fatal("T1 fit in a hardware transaction; the test database is too small")
+	}
+	if st.Cause != stats.AbortCapacity {
+		t.Errorf("cause = %v, want capacity", st.Cause)
+	}
+}
+
+func TestFullMixConcurrent(t *testing.T) {
+	// The beyond-the-paper configuration: everything enabled, under RW-LE.
+	// Long updates exceed ROT write capacity and must land on the
+	// non-speculative path without breaking any invariant.
+	const threads = 6
+	cfg := smallConfig()
+	m := machine.New(machine.Config{CPUs: threads, MemWords: cfg.MemWords(), Seed: 24})
+	sys := htm.NewSystem(m, htm.Config{})
+	b := Build(m, cfg)
+	lock := core.New(sys, core.Opt())
+	mix := NewFullMix(30)
+	sum := b.SumXY()
+	sys.M.Run(threads, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < 25; i++ {
+			mix.Step(b, lock, th, c)
+		}
+	})
+	if b.SumXY() != sum {
+		t.Error("Σ(x+y) drifted under the full mix")
+	}
+	if msg := b.CheckStructure(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestFullOpsCount(t *testing.T) {
+	if got := len(FullOps()); got != 24+2+3 {
+		t.Errorf("FullOps has %d operations, want 29", got)
+	}
+}

@@ -1,0 +1,328 @@
+package stmbench7
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+)
+
+// Op is one benchmark operation. ReadOnly operations acquire the
+// application's read-write lock in read mode, updates in write mode (the
+// paper's adaptation of STMBench7 to a lock interface).
+//
+// Run must be restartable: elision schemes may execute it speculatively
+// and re-run it after an abort, so all its effects go through the
+// htm.Thread and any scratch state is local to the invocation.
+type Op struct {
+	Name     string
+	ReadOnly bool
+	Run      func(b *Bench, t *htm.Thread, c *machine.CPU)
+}
+
+// rdPart reads the scalar fields of an atomic part (id, x, y, date).
+func rdPart(t *htm.Thread, p machine.Addr) uint64 {
+	return t.Load(p+apID) + t.Load(p+apX) + t.Load(p+apY) + t.Load(p+apBuildDate)
+}
+
+// indexLookup finds an atomic part by id through the simulated-memory
+// index (cost paid inside the critical section, as in the original
+// benchmark's B-tree indexes).
+func (b *Bench) indexLookup(t *htm.Thread, id uint64) machine.Addr {
+	v, ok := b.Index.Lookup(t, id)
+	if !ok {
+		return 0
+	}
+	return machine.Addr(v)
+}
+
+// randPartID returns a uniformly random valid atomic-part id.
+func (b *Bench) randPartID(c *machine.CPU) uint64 {
+	return uint64(1 + c.Intn(len(b.AtomicParts)))
+}
+
+func (b *Bench) randComposite(c *machine.CPU) machine.Addr {
+	return b.CompositeParts[c.Intn(len(b.CompositeParts))]
+}
+
+func (b *Bench) randBase(c *machine.CPU) machine.Addr {
+	return b.BaseAssemblies[c.Intn(len(b.BaseAssemblies))]
+}
+
+// --- Read-only operations ------------------------------------------------
+
+// opQueryParts: Q1-style — k random atomic parts via the index.
+func opQueryParts(k int) func(*Bench, *htm.Thread, *machine.CPU) {
+	return func(b *Bench, t *htm.Thread, c *machine.CPU) {
+		var sum uint64
+		for i := 0; i < k; i++ {
+			if p := b.indexLookup(t, b.randPartID(c)); p != 0 {
+				sum += rdPart(t, p)
+			}
+		}
+		t.C.Work(int64(k))
+	}
+}
+
+// opRecentParts: Q2/Q3-style — sample parts and count recent build dates.
+func opRecentParts(sample int) func(*Bench, *htm.Thread, *machine.CPU) {
+	return func(b *Bench, t *htm.Thread, c *machine.CPU) {
+		recent := 0
+		for i := 0; i < sample; i++ {
+			if p := b.indexLookup(t, b.randPartID(c)); p != 0 {
+				if t.Load(p+apBuildDate) > 1800 {
+					recent++
+				}
+			}
+		}
+		t.C.Work(int64(sample))
+	}
+}
+
+// opReadDocs: Q4-style — documents of k random composites, reading the
+// title and a slice of the text.
+func opReadDocs(k, words int) func(*Bench, *htm.Thread, *machine.CPU) {
+	return func(b *Bench, t *htm.Thread, c *machine.CPU) {
+		var sum uint64
+		for i := 0; i < k; i++ {
+			comp := b.randComposite(c)
+			doc := machine.Addr(t.Load(comp + cpDocument))
+			sum += t.Load(doc + docTitle)
+			text := machine.Addr(t.Load(doc + docTextArr))
+			n := int(t.Load(doc + docTextLen))
+			for w := 0; w < words && w < n; w++ {
+				sum += t.Load(text + machine.Addr(w))
+			}
+		}
+		t.C.Work(int64(k * words))
+	}
+}
+
+// opScanBases: Q5-style — check base assemblies whose components are newer
+// than the assembly.
+func opScanBases(k int) func(*Bench, *htm.Thread, *machine.CPU) {
+	return func(b *Bench, t *htm.Thread, c *machine.CPU) {
+		for i := 0; i < k; i++ {
+			ba := b.randBase(c)
+			bd := t.Load(ba + baBuildDate)
+			n := int(t.Load(ba + baNComp))
+			for j := 0; j < n; j++ {
+				comp := machine.Addr(t.Load(ba + baCompBase + machine.Addr(j)))
+				if t.Load(comp+cpBuildDate) > bd {
+					t.C.Work(1)
+				}
+			}
+		}
+	}
+}
+
+// opIterateParts: Q7-style (bounded) — walk the part arrays of k random
+// composites, reading every part. This is the capacity-heavy read query.
+func opIterateParts(k int) func(*Bench, *htm.Thread, *machine.CPU) {
+	return func(b *Bench, t *htm.Thread, c *machine.CPU) {
+		var sum uint64
+		for i := 0; i < k; i++ {
+			comp := b.randComposite(c)
+			arr := machine.Addr(t.Load(comp + cpPartsArr))
+			n := int(t.Load(comp + cpNParts))
+			for j := 0; j < n; j++ {
+				sum += rdPart(t, machine.Addr(t.Load(arr+machine.Addr(j))))
+			}
+		}
+		t.C.Work(int64(k))
+	}
+}
+
+// opShortTraversal: ST-style — DFS over one composite's connection graph
+// from its root part, bounded by depth.
+func opShortTraversal(depth int) func(*Bench, *htm.Thread, *machine.CPU) {
+	return func(b *Bench, t *htm.Thread, c *machine.CPU) {
+		ba := b.randBase(c)
+		comp := machine.Addr(t.Load(ba + baCompBase))
+		visited := map[machine.Addr]bool{}
+		var dfs func(p machine.Addr, d int)
+		dfs = func(p machine.Addr, d int) {
+			if d == 0 || visited[p] {
+				return
+			}
+			visited[p] = true
+			rdPart(t, p)
+			n := int(t.Load(p + apNConn))
+			for k := 0; k < n; k++ {
+				base := p + apConnBase + machine.Addr(k*apConnStep)
+				dest := machine.Addr(t.Load(base))
+				t.Load(base + 1) // connection length
+				dfs(dest, d-1)
+			}
+		}
+		dfs(machine.Addr(t.Load(comp+cpRootPart)), depth)
+		t.C.Work(int64(len(visited)))
+	}
+}
+
+// opAssemblyPath: walk from a base assembly up to the design root.
+func opAssemblyPath(b *Bench, t *htm.Thread, c *machine.CPU) {
+	a := b.randBase(c)
+	var sum uint64
+	sum += t.Load(a + baBuildDate)
+	a = machine.Addr(t.Load(a + baSuper))
+	for a != 0 {
+		sum += t.Load(a + caBuildDate)
+		a = machine.Addr(t.Load(a + caSuper))
+	}
+	t.C.Work(4)
+}
+
+// opReadManual: OP-style — scan a window of the manual.
+func opReadManual(words int) func(*Bench, *htm.Thread, *machine.CPU) {
+	return func(b *Bench, t *htm.Thread, c *machine.CPU) {
+		man := machine.Addr(t.Load(b.Module + modManual))
+		text := machine.Addr(t.Load(man + manTextArr))
+		n := int(t.Load(man + manTextLen))
+		start := c.Intn(n - words)
+		var sum uint64
+		for w := 0; w < words; w++ {
+			sum += t.Load(text + machine.Addr(start+w))
+		}
+		t.C.Work(int64(words))
+	}
+}
+
+// --- Update operations ----------------------------------------------------
+//
+// Every update preserves the benchmark's global invariant Σ(x+y) over all
+// atomic parts, and build-date updates increment by exactly 1, so tests
+// can audit the final state against per-thread commit counts.
+
+// opSwapXY: OP9/OP15-style — swap x and y of every part of a composite.
+func opSwapXY(b *Bench, t *htm.Thread, c *machine.CPU) {
+	comp := b.randComposite(c)
+	arr := machine.Addr(t.Load(comp + cpPartsArr))
+	n := int(t.Load(comp + cpNParts))
+	for j := 0; j < n; j++ {
+		p := machine.Addr(t.Load(arr + machine.Addr(j)))
+		x, y := t.Load(p+apX), t.Load(p+apY)
+		t.Store(p+apX, y)
+		t.Store(p+apY, x)
+	}
+	t.C.Work(int64(n))
+}
+
+// opShiftXY: OP-style — x+=1, y-=1 on k random parts (sum-preserving).
+func opShiftXY(k int) func(*Bench, *htm.Thread, *machine.CPU) {
+	return func(b *Bench, t *htm.Thread, c *machine.CPU) {
+		for i := 0; i < k; i++ {
+			if p := b.indexLookup(t, b.randPartID(c)); p != 0 {
+				t.Store(p+apX, t.Load(p+apX)+1)
+				t.Store(p+apY, t.Load(p+apY)-1)
+			}
+		}
+		t.C.Work(int64(k))
+	}
+}
+
+// opTouchDates: OP10-style — increment the build date of k random parts.
+func opTouchDates(k int) func(*Bench, *htm.Thread, *machine.CPU) {
+	return func(b *Bench, t *htm.Thread, c *machine.CPU) {
+		for i := 0; i < k; i++ {
+			if p := b.indexLookup(t, b.randPartID(c)); p != 0 {
+				t.Store(p+apBuildDate, t.Load(p+apBuildDate)+1)
+			}
+		}
+		t.C.Work(int64(k))
+	}
+}
+
+// opUpdateDoc: OP14-style — rewrite a window of a composite's document.
+func opUpdateDoc(words int) func(*Bench, *htm.Thread, *machine.CPU) {
+	return func(b *Bench, t *htm.Thread, c *machine.CPU) {
+		comp := b.randComposite(c)
+		doc := machine.Addr(t.Load(comp + cpDocument))
+		text := machine.Addr(t.Load(doc + docTextArr))
+		n := int(t.Load(doc + docTextLen))
+		for w := 0; w < words && w < n; w++ {
+			t.Store(text+machine.Addr(w), t.Load(text+machine.Addr(w))^1)
+		}
+		t.C.Work(int64(words))
+	}
+}
+
+// opTouchAssembly: increment the build date of a base assembly and its
+// composites.
+func opTouchAssembly(b *Bench, t *htm.Thread, c *machine.CPU) {
+	ba := b.randBase(c)
+	t.Store(ba+baBuildDate, t.Load(ba+baBuildDate)+1)
+	n := int(t.Load(ba + baNComp))
+	for j := 0; j < n; j++ {
+		comp := machine.Addr(t.Load(ba + baCompBase + machine.Addr(j)))
+		t.Store(comp+cpBuildDate, t.Load(comp+cpBuildDate)+1)
+	}
+	t.C.Work(int64(n))
+}
+
+// opRotateConnLengths: rotate the connection lengths within each part of a
+// composite (length-multiset preserving).
+func opRotateConnLengths(b *Bench, t *htm.Thread, c *machine.CPU) {
+	comp := b.randComposite(c)
+	arr := machine.Addr(t.Load(comp + cpPartsArr))
+	n := int(t.Load(comp + cpNParts))
+	for j := 0; j < n; j++ {
+		p := machine.Addr(t.Load(arr + machine.Addr(j)))
+		nc := int(t.Load(p + apNConn))
+		if nc < 2 {
+			continue
+		}
+		first := t.Load(p + apConnBase + 1)
+		for k := 0; k < nc-1; k++ {
+			t.Store(p+apConnBase+machine.Addr(k*apConnStep)+1,
+				t.Load(p+apConnBase+machine.Addr((k+1)*apConnStep)+1))
+		}
+		t.Store(p+apConnBase+machine.Addr((nc-1)*apConnStep)+1, first)
+	}
+	t.C.Work(int64(n))
+}
+
+// Ops returns the 24-operation default mix: STMBench7's read-only
+// queries/short traversals and its non-structural update operations, in
+// several parameterizations (as the original defines ST1..ST9 and
+// OP1..OP15 as size variants of a few kernels).
+func Ops() []Op {
+	return []Op{
+		// 14 read-only operations.
+		{"Q1-parts4", true, opQueryParts(4)},
+		{"Q1-parts10", true, opQueryParts(10)},
+		{"Q2-recent20", true, opRecentParts(20)},
+		{"Q2-recent60", true, opRecentParts(60)},
+		{"Q4-docs5", true, opReadDocs(5, 20)},
+		{"Q4-docs10", true, opReadDocs(10, 40)},
+		{"Q5-bases10", true, opScanBases(10)},
+		{"Q5-bases30", true, opScanBases(30)},
+		{"Q7-iter2", true, opIterateParts(2)},
+		{"Q7-iter5", true, opIterateParts(5)},
+		{"ST-dfs8", true, opShortTraversal(8)},
+		{"ST-dfs20", true, opShortTraversal(20)},
+		{"OP-path", true, opAssemblyPath},
+		{"OP-manual", true, opReadManual(256)},
+		// 10 update operations.
+		{"OP9-swap", false, opSwapXY},
+		{"OP-shift4", false, opShiftXY(4)},
+		{"OP-shift10", false, opShiftXY(10)},
+		{"OP10-dates4", false, opTouchDates(4)},
+		{"OP10-dates10", false, opTouchDates(10)},
+		{"OP14-doc10", false, opUpdateDoc(10)},
+		{"OP14-doc40", false, opUpdateDoc(40)},
+		{"OP-assembly", false, opTouchAssembly},
+		{"OP-conns", false, opRotateConnLengths},
+		{"OP15-swap", false, opSwapXY},
+	}
+}
+
+// SplitOps partitions the mix into read-only and update operations.
+func SplitOps() (readOnly, updates []Op) {
+	for _, op := range Ops() {
+		if op.ReadOnly {
+			readOnly = append(readOnly, op)
+		} else {
+			updates = append(updates, op)
+		}
+	}
+	return
+}

@@ -1,0 +1,186 @@
+package stmbench7
+
+import (
+	"testing"
+
+	"hrwle/internal/core"
+	"hrwle/internal/htm"
+	"hrwle/internal/locks"
+	"hrwle/internal/machine"
+	"hrwle/internal/rwlock"
+)
+
+func smallConfig() Config {
+	return Config{
+		AssmLevels: 3, AssmFanout: 3, Composites: 20, PartsPerComposite: 10,
+		ConnsPerPart: 3, DocWords: 40, ManualWords: 1024, Seed: 5,
+	}
+}
+
+func buildSmall(cpus int, seed uint64) (*htm.System, *Bench) {
+	cfg := smallConfig()
+	m := machine.New(machine.Config{CPUs: cpus, MemWords: cfg.MemWords(), Seed: seed})
+	sys := htm.NewSystem(m, htm.Config{})
+	return sys, Build(m, cfg)
+}
+
+func TestBuildStructure(t *testing.T) {
+	_, b := buildSmall(1, 1)
+	if msg := b.CheckStructure(); msg != "" {
+		t.Fatal(msg)
+	}
+	if got := len(b.AtomicParts); got != 200 {
+		t.Errorf("parts = %d, want 200", got)
+	}
+	if got := len(b.BaseAssemblies); got != 9 {
+		t.Errorf("base assemblies = %d, want 3^2", got)
+	}
+	if got := len(b.CompositeParts); got != 20 {
+		t.Errorf("composites = %d", got)
+	}
+}
+
+func TestIndexFindsEveryPart(t *testing.T) {
+	sys, b := buildSmall(1, 2)
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		for id := uint64(1); id <= uint64(len(b.AtomicParts)); id++ {
+			p := b.indexLookup(th, id)
+			if p == 0 {
+				t.Fatalf("id %d not in index", id)
+			}
+			if got := th.Load(p + apID); got != id {
+				t.Fatalf("index maps %d to part with id %d", id, got)
+			}
+		}
+		if b.indexLookup(th, 1<<40) != 0 {
+			t.Error("bogus id found")
+		}
+	})
+}
+
+func TestDefaultMixHas24Ops(t *testing.T) {
+	ops := Ops()
+	if len(ops) != 24 {
+		t.Fatalf("mix has %d operations, want 24", len(ops))
+	}
+	ro, up := SplitOps()
+	if len(ro)+len(up) != 24 || len(ro) == 0 || len(up) == 0 {
+		t.Errorf("split %d/%d", len(ro), len(up))
+	}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		if op.Name == "" || op.Run == nil {
+			t.Errorf("op %q incomplete", op.Name)
+		}
+		if seen[op.Name] && op.Name != "OP9-swap" {
+			// OP15-swap aliases the swap kernel deliberately.
+			t.Errorf("duplicate op name %q", op.Name)
+		}
+		seen[op.Name] = true
+	}
+}
+
+func TestEveryOpRunsSequentially(t *testing.T) {
+	sys, b := buildSmall(1, 3)
+	sumXY := b.SumXY()
+	conns := b.SumConnLengths()
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		for _, op := range Ops() {
+			for rep := 0; rep < 3; rep++ {
+				op.Run(b, th, c)
+			}
+		}
+	})
+	if msg := b.CheckStructure(); msg != "" {
+		t.Fatal(msg)
+	}
+	if got := b.SumXY(); got != sumXY {
+		t.Errorf("Σ(x+y) drifted: %d -> %d", sumXY, got)
+	}
+	if got := b.SumConnLengths(); got != conns {
+		t.Errorf("Σ(conn lengths) drifted: %d -> %d", conns, got)
+	}
+}
+
+func TestReadOnlyOpsDoNotWrite(t *testing.T) {
+	sys, b := buildSmall(1, 4)
+	ro, _ := SplitOps()
+	sys.M.Run(1, func(c *machine.CPU) {
+		th := sys.Thread(0)
+		for _, op := range ro {
+			before := sys.M.CPU(0).Counters.Writes
+			op.Run(b, th, c)
+			if after := sys.M.CPU(0).Counters.Writes; after != before {
+				t.Errorf("read-only op %s performed %d writes", op.Name, after-before)
+			}
+		}
+	})
+}
+
+func concurrentMix(t *testing.T, mk rwlock.Factory, writePct int, seed uint64) {
+	t.Helper()
+	const threads, opsPerThread = 8, 40
+	sys, b := buildSmall(threads, seed)
+	lock := mk(sys)
+	mix := NewMix(writePct)
+	sumXY := b.SumXY()
+	conns := b.SumConnLengths()
+	sys.M.Run(threads, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for i := 0; i < opsPerThread; i++ {
+			mix.Step(b, lock, th, c)
+		}
+	})
+	if msg := b.CheckStructure(); msg != "" {
+		t.Fatalf("%s: %s", lock.Name(), msg)
+	}
+	if got := b.SumXY(); got != sumXY {
+		t.Errorf("%s: Σ(x+y) %d -> %d (lost/torn updates)", lock.Name(), sumXY, got)
+	}
+	if got := b.SumConnLengths(); got != conns {
+		t.Errorf("%s: Σ(conn) %d -> %d", lock.Name(), conns, got)
+	}
+	var ops int64
+	for i := 0; i < threads; i++ {
+		ops += sys.Thread(i).St.Ops
+	}
+	if ops != threads*opsPerThread {
+		t.Errorf("%s: ops = %d", lock.Name(), ops)
+	}
+}
+
+func TestConcurrentMixRWLE(t *testing.T) {
+	for _, w := range []int{10, 50, 90} {
+		concurrentMix(t, func(s *htm.System) rwlock.Lock { return core.New(s, core.Opt()) }, w, uint64(w))
+		concurrentMix(t, func(s *htm.System) rwlock.Lock { return core.New(s, core.Pes()) }, w, uint64(w)+1)
+	}
+}
+
+func TestConcurrentMixBaselines(t *testing.T) {
+	concurrentMix(t, func(s *htm.System) rwlock.Lock { return locks.NewHLE(s) }, 50, 30)
+	concurrentMix(t, func(s *htm.System) rwlock.Lock { return locks.NewSGL(s) }, 50, 31)
+	concurrentMix(t, func(s *htm.System) rwlock.Lock { return locks.NewRWL(s) }, 50, 32)
+	concurrentMix(t, func(s *htm.System) rwlock.Lock { return locks.NewBRLock(s) }, 50, 33)
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	_, b1 := buildSmall(1, 9)
+	_, b2 := buildSmall(1, 9)
+	if b1.SumXY() != b2.SumXY() || b1.SumConnLengths() != b2.SumConnLengths() {
+		t.Error("builds with equal seeds differ")
+	}
+}
+
+func TestMemWordsEstimateSufficient(t *testing.T) {
+	cfg := DefaultConfig()
+	m := machine.New(machine.Config{CPUs: 1, MemWords: cfg.MemWords(), Seed: 1})
+	b := Build(m, cfg)
+	if msg := b.CheckStructure(); msg != "" {
+		t.Fatal(msg)
+	}
+	if m.HeapUsed() >= cfg.MemWords() {
+		t.Error("estimate too small")
+	}
+}

@@ -1,0 +1,103 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"hrwle/internal/machine"
+)
+
+// CheckConsistency audits the database against TPC-C's consistency
+// conditions plus this port's bookkeeping invariants, given the host-side
+// record of committed transactions. It returns "" when consistent.
+//
+// Conditions checked (numbers per the TPC-C specification §3.3.2):
+//
+//  1. W_YTD = Σ D_YTD for every warehouse, and Σ W_YTD equals the total
+//     amount of committed payments.
+//  2. Σ (D_NEXT_O_ID − 1) equals preloaded plus committed orders.
+//  3. Every order in a new-order queue is undelivered (no carrier), and
+//     the total queue length equals undelivered preloads + new orders −
+//     deliveries.
+//  4. Balance equation: Σ C_BALANCE = initial − payments + delivered
+//     order-line amounts.
+func (db *DB) CheckConsistency(a *Audit) string {
+	m := db.M
+	cfg := db.Cfg
+
+	var whTotal uint64
+	for w := int64(0); w < cfg.Warehouses; w++ {
+		wytd := m.Peek(db.warehouse(w) + whYTD)
+		var dsum uint64
+		for d := int64(0); d < cfg.DistrictsPerWH; d++ {
+			dsum += m.Peek(db.district(w, d) + diYTD)
+		}
+		if wytd != dsum {
+			return fmt.Sprintf("warehouse %d: W_YTD %d != Σ D_YTD %d", w, wytd, dsum)
+		}
+		whTotal += wytd
+	}
+	if whTotal != a.PaymentsAmount {
+		return fmt.Sprintf("Σ W_YTD %d != committed payments %d", whTotal, a.PaymentsAmount)
+	}
+
+	var orders uint64
+	for w := int64(0); w < cfg.Warehouses; w++ {
+		for d := int64(0); d < cfg.DistrictsPerWH; d++ {
+			orders += m.Peek(db.district(w, d)+diNextOID) - 1
+		}
+	}
+	preload := uint64(cfg.Warehouses * cfg.DistrictsPerWH * cfg.InitialOrdersPerD)
+	if orders != preload+uint64(a.NewOrders) {
+		return fmt.Sprintf("order ids %d != preload %d + new orders %d", orders, preload, a.NewOrders)
+	}
+
+	var queued int64
+	for w := int64(0); w < cfg.Warehouses; w++ {
+		for d := int64(0); d < cfg.DistrictsPerWH; d++ {
+			di := db.district(w, d)
+			n := machine.Addr(m.Peek(di + diNOHead))
+			var last machine.Addr
+			steps := int64(0)
+			for n != 0 {
+				if m.Peek(n+orCarrier) != 0 {
+					return "delivered order still queued"
+				}
+				if int64(m.Peek(n+orDID)) != d+1 || int64(m.Peek(n+orWID)) != w+1 {
+					return "order queued in wrong district"
+				}
+				if steps++; steps > 1<<22 {
+					return "new-order queue cycle"
+				}
+				last = n
+				n = machine.Addr(m.Peek(n + orNextNew))
+			}
+			tail := machine.Addr(m.Peek(di + diNOTail))
+			if tail != last {
+				return "queue tail does not match walk"
+			}
+			queued += steps
+		}
+	}
+	undeliveredPreload := int64(0)
+	for w := int64(0); w < cfg.Warehouses; w++ {
+		for d := int64(0); d < cfg.DistrictsPerWH; d++ {
+			// Preload marks odd order ids undelivered: ids 1..Initial.
+			undeliveredPreload += cfg.InitialOrdersPerD / 2
+		}
+	}
+	if queued != undeliveredPreload+a.NewOrders-a.DeliveredOrders {
+		return fmt.Sprintf("queued %d != undelivered preload %d + new %d - delivered %d",
+			queued, undeliveredPreload, a.NewOrders, a.DeliveredOrders)
+	}
+
+	var balances uint64
+	for _, cu := range db.customers {
+		balances += m.Peek(cu + cuBalance)
+	}
+	initial := negCents(1000) * uint64(len(db.customers))
+	want := initial - a.PaymentsAmount + a.DeliveredAmount
+	if balances != want {
+		return fmt.Sprintf("Σ balances %d != expected %d", balances, want)
+	}
+	return ""
+}

@@ -1,0 +1,96 @@
+package tpcc
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/rwlock"
+)
+
+// Audit accumulates the host-side ground truth of committed transactions
+// so tests can verify TPC-C's consistency conditions afterwards. The
+// simulator executes one CPU at a time, so plain counters are race-free;
+// they are only updated after a critical section has committed.
+type Audit struct {
+	NewOrders       int64
+	PaymentsAmount  uint64
+	Payments        int64
+	DeliveredOrders int64
+	DeliveredAmount uint64
+}
+
+// Workload drives the paper's TPC-C mix: writePct% of transactions are
+// updates (New-Order : Payment : Delivery in TPC-C's 45:43:4 relative
+// weights) and the rest are read-only (Order-Status : Stock-Level, 50:50).
+type Workload struct {
+	DB       *DB
+	WritePct int
+	Audit    Audit
+}
+
+// Step runs one transaction on behalf of thread t. All random parameters
+// are drawn before entering the critical section so that speculative
+// re-executions replay the identical transaction.
+func (wl *Workload) Step(lock rwlock.Lock, t *htm.Thread, c *machine.CPU) {
+	db := wl.DB
+	cfg := db.Cfg
+	w := int64(c.Intn(int(cfg.Warehouses)))
+	if c.Intn(100) < wl.WritePct {
+		switch pick := c.Intn(92); {
+		case pick < 45: // New-Order
+			p := NewOrderParams{
+				W: w,
+				D: int64(c.Intn(int(cfg.DistrictsPerWH))),
+				C: int64(c.Intn(int(cfg.CustomersPerDist))),
+			}
+			n := 5 + c.Intn(MaxOrderLines-5+1)
+			for l := 0; l < n; l++ {
+				supply := w
+				if cfg.Warehouses > 1 && c.Intn(100) == 0 { // 1% remote
+					supply = int64(c.Intn(int(cfg.Warehouses)))
+				}
+				p.Lines = append(p.Lines, OrderLineReq{
+					Item:    int64(c.Intn(int(cfg.Items))),
+					SupplyW: supply,
+					Qty:     uint64(1 + c.Intn(10)),
+				})
+			}
+			block := db.PrepareOrderBlock(t)
+			lock.Write(t, func() { db.NewOrder(t, p, block) })
+			wl.Audit.NewOrders++
+		case pick < 88: // Payment (60% select the customer by last name)
+			p := PaymentParams{
+				W:      w,
+				D:      int64(c.Intn(int(cfg.DistrictsPerWH))),
+				C:      int64(c.Intn(int(cfg.CustomersPerDist))),
+				ByName: -1,
+				Amount: uint64(100 + c.Intn(500000)),
+			}
+			if c.Intn(100) < 60 {
+				p.ByName = int64(c.Intn(LastNames))
+			}
+			lock.Write(t, func() { db.Payment(t, p) })
+			wl.Audit.Payments++
+			wl.Audit.PaymentsAmount += p.Amount
+		default: // Delivery
+			carrier := uint64(1 + c.Intn(10))
+			var res DeliveryResult
+			lock.Write(t, func() { res = db.Delivery(t, w, carrier) })
+			wl.Audit.DeliveredOrders += int64(res.Orders)
+			wl.Audit.DeliveredAmount += res.Amount
+		}
+	} else {
+		d := int64(c.Intn(int(cfg.DistrictsPerWH)))
+		if c.Intn(2) == 0 {
+			cid := int64(c.Intn(int(cfg.CustomersPerDist)))
+			byName := int64(-1)
+			if c.Intn(100) < 60 {
+				byName = int64(c.Intn(LastNames))
+			}
+			lock.Read(t, func() { db.OrderStatus(t, w, d, cid, byName) })
+		} else {
+			threshold := uint64(10 + c.Intn(11))
+			lock.Read(t, func() { db.StockLevel(t, w, d, threshold) })
+		}
+	}
+	t.St.Ops++
+}
