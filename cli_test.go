@@ -1,0 +1,68 @@
+package hrwle
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runGo executes `go run pkg args...` from the repo root and returns the
+// combined output. Skips the test when no go tool is on PATH (e.g. a
+// stripped CI runner executing a prebuilt test binary).
+func runGo(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	cmd := exec.Command(goBin, append([]string{"run", pkg}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s %v failed: %v\n%s", pkg, args, err, out)
+	}
+	return string(out)
+}
+
+// TestBenchCLISmoke regenerates one tiny figure through the real CLI and
+// checks the report carries the expected sections and schemes.
+func TestBenchCLISmoke(t *testing.T) {
+	out := runGo(t, "./cmd/hrwle-bench", "-fig", "fig3", "-scale", "0.01", "-threads", "2", "-q")
+	for _, want := range []string{"fig3", "RW-LE_OPT", "abort breakdown", "commit breakdown"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hrwle-bench output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBenchCLIList checks the figure listing knows every registered figure.
+func TestBenchCLIList(t *testing.T) {
+	out := runGo(t, "./cmd/hrwle-bench", "-list")
+	for _, want := range []string{"fig3", "fig10", "retries", "split"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hrwle-bench -list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCheckCLISmoke runs a tiny exploration through cmd/hrwle-check.
+func TestCheckCLISmoke(t *testing.T) {
+	out := runGo(t, "./cmd/hrwle-check", "-scheme", "RW-LE_OPT", "-program", "record", "-budget", "200")
+	if !strings.Contains(out, "RW-LE_OPT/record") || !strings.Contains(out, "executions") {
+		t.Errorf("hrwle-check output unexpected:\n%s", out)
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Errorf("unmutated RW-LE_OPT reported a violation:\n%s", out)
+	}
+}
+
+// TestQuickstartExample keeps the README's quickstart example running.
+func TestQuickstartExample(t *testing.T) {
+	out := runGo(t, "./examples/quickstart")
+	if len(strings.TrimSpace(out)) == 0 {
+		t.Error("quickstart example produced no output")
+	}
+	if strings.Contains(strings.ToLower(out), "panic") {
+		t.Errorf("quickstart example panicked:\n%s", out)
+	}
+}

@@ -1,0 +1,134 @@
+// Command hrwle-check runs the systematic schedule-exploration checker
+// (internal/check) against the synchronization schemes in this repository.
+//
+// Explore one configuration:
+//
+//	hrwle-check -scheme RW-LE_OPT -program hashmap -budget 5000
+//
+// Sweep every scheme × program combination:
+//
+//	hrwle-check -all
+//
+// Validate the checker against a seeded bug (must find a violation):
+//
+//	hrwle-check -scheme RW-LE_PES -mutation skip-rot-quiesce
+//
+// Deterministically reproduce a reported violation:
+//
+//	hrwle-check -replay TOKEN
+//
+// The process exits 1 when any explored configuration yields a violation
+// (or a -replay fails to reproduce one), so it can gate CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hrwle/internal/check"
+)
+
+func main() {
+	var (
+		scheme      = flag.String("scheme", "RW-LE_OPT", "scheme to explore: "+strings.Join(check.Schemes(), ", "))
+		program     = flag.String("program", "record", "closed test program: "+strings.Join(check.Programs(), ", "))
+		threads     = flag.Int("threads", 0, "simulated threads (0 = default)")
+		ops         = flag.Int("ops", 0, "critical sections per thread (0 = default)")
+		budget      = flag.Int("budget", 0, "total executions to explore (0 = default)")
+		preemptions = flag.Int("preemptions", 0, "DFS preemption bound (0 = default)")
+		walkPct     = flag.Int("walk-pct", 0, "random-walk preemption probability in percent (0 = default)")
+		seed        = flag.Uint64("seed", 0, "base seed for the random-walk sweep (0 = default)")
+		mutation    = flag.String("mutation", "", "seeded bug to validate against: "+
+			check.MutLoseDoomAtResume+", "+check.MutSkipROTQuiesce)
+		replay = flag.String("replay", "", "replay a violation token instead of exploring")
+		all    = flag.Bool("all", false, "sweep every scheme × program combination")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay))
+	}
+
+	// Validate names up front: buildLock panics on unknown schemes, and a
+	// typo'd -mutation would otherwise silently explore unmutated code.
+	if !*all && !contains(check.Schemes(), *scheme) {
+		fatalf("unknown scheme %q (want one of %s)", *scheme, strings.Join(check.Schemes(), ", "))
+	}
+	if !contains(check.Programs(), *program) {
+		fatalf("unknown program %q (want one of %s)", *program, strings.Join(check.Programs(), ", "))
+	}
+	if *mutation != "" && *mutation != check.MutLoseDoomAtResume && *mutation != check.MutSkipROTQuiesce {
+		fatalf("unknown mutation %q (want %s or %s)", *mutation, check.MutLoseDoomAtResume, check.MutSkipROTQuiesce)
+	}
+
+	base := check.Config{
+		Scheme:         *scheme,
+		Program:        *program,
+		Threads:        *threads,
+		Ops:            *ops,
+		MaxExecutions:  *budget,
+		Preemptions:    *preemptions,
+		WalkPreemptPct: *walkPct,
+		Seed:           *seed,
+		Mutation:       *mutation,
+	}
+
+	violations := 0
+	if *all {
+		for _, s := range check.Schemes() {
+			for _, p := range check.Programs() {
+				cfg := base
+				cfg.Scheme, cfg.Program = s, p
+				violations += report(check.Explore(cfg))
+			}
+		}
+	} else {
+		violations += report(check.Explore(base))
+	}
+	if violations > 0 {
+		os.Exit(1)
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hrwle-check: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// report prints one exploration summary and returns 1 if it found a
+// violation.
+func report(rep check.Report) int {
+	fmt.Println(rep.String())
+	if rep.Violation != nil {
+		return 1
+	}
+	return 0
+}
+
+// runReplay re-executes a single violation token and returns the process
+// exit code: 0 when the violation reproduces, 1 otherwise.
+func runReplay(token string) int {
+	rep, err := check.Replay(token)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrwle-check:", err)
+		return 1
+	}
+	fmt.Println(rep.String())
+	if rep.Violation == nil {
+		fmt.Println("replay: violation did NOT reproduce")
+		return 1
+	}
+	fmt.Println("replay: violation reproduced deterministically")
+	return 0
+}

@@ -1,0 +1,147 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExploreSchemesClean sweeps every scheme × program combination with a
+// fixed budget and requires a clean bill: the checker must not report false
+// positives on the unmutated implementations.
+func TestExploreSchemesClean(t *testing.T) {
+	for _, scheme := range Schemes() {
+		for _, prog := range Programs() {
+			scheme, prog := scheme, prog
+			t.Run(scheme+"/"+prog, func(t *testing.T) {
+				t.Parallel()
+				rep := Explore(Config{Scheme: scheme, Program: prog})
+				if rep.Violation != nil {
+					t.Fatalf("false positive: %s\nreplay: %s", rep.Violation.Desc, rep.Violation.Token)
+				}
+				if rep.Executions == 0 || rep.Points == 0 {
+					t.Fatalf("explorer did no work: %+v", rep)
+				}
+			})
+		}
+	}
+}
+
+// TestMutationsDetected validates the checker against the two seeded bugs:
+// each mutation must produce a violation within the default budget, and the
+// printed replay token must deterministically reproduce it.
+func TestMutationsDetected(t *testing.T) {
+	cases := []struct {
+		scheme, mutation string
+	}{
+		// Forgetting dooms at resume breaks the HTM fast path, which
+		// RW-LE_OPT takes first.
+		{"RW-LE_OPT", MutLoseDoomAtResume},
+		// Dropping the quiescence barrier breaks the ROT path, which
+		// RW-LE_PES takes first.
+		{"RW-LE_PES", MutSkipROTQuiesce},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.scheme+"/"+tc.mutation, func(t *testing.T) {
+			t.Parallel()
+			rep := Explore(Config{Scheme: tc.scheme, Mutation: tc.mutation})
+			if rep.Violation == nil {
+				t.Fatalf("mutation %s not detected in %d executions", tc.mutation, rep.Executions)
+			}
+			if !strings.Contains(rep.Violation.Desc, "torn") {
+				t.Errorf("expected a torn-read violation, got: %s", rep.Violation.Desc)
+			}
+			if rep.Violation.Token == "" {
+				t.Fatal("violation carries no replay token")
+			}
+
+			// The token must round-trip its configuration...
+			cfg, err := DecodeToken(rep.Violation.Token)
+			if err != nil {
+				t.Fatalf("DecodeToken: %v", err)
+			}
+			if cfg.Scheme != tc.scheme || cfg.Mutation != tc.mutation {
+				t.Fatalf("token config mismatch: %+v", cfg)
+			}
+
+			// ...and replay must reproduce the identical violation, every time.
+			for i := 0; i < 3; i++ {
+				r2, err := Replay(rep.Violation.Token)
+				if err != nil {
+					t.Fatalf("Replay: %v", err)
+				}
+				if r2.Violation == nil {
+					t.Fatalf("replay %d did not reproduce the violation", i)
+				}
+				if r2.Violation.Desc != rep.Violation.Desc {
+					t.Fatalf("replay %d diverged: got %q, want %q", i, r2.Violation.Desc, rep.Violation.Desc)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayIsDeterministic replays one token twice and requires identical
+// reports — decision-point counts included, not just the verdict.
+func TestReplayIsDeterministic(t *testing.T) {
+	rep := Explore(Config{Scheme: "RW-LE_PES", Mutation: MutSkipROTQuiesce})
+	if rep.Violation == nil {
+		t.Fatal("seeded mutation not detected")
+	}
+	a, err := Replay(rep.Violation.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(rep.Violation.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points != b.Points || a.Executions != b.Executions {
+		t.Fatalf("replays diverged: %+v vs %+v", a, b)
+	}
+	if a.Violation == nil || b.Violation == nil || a.Violation.Desc != b.Violation.Desc {
+		t.Fatalf("replays disagree on the violation: %+v vs %+v", a.Violation, b.Violation)
+	}
+}
+
+// TestDFSExhaustsTinyConfig checks that on a genuinely tiny configuration
+// the bounded DFS enumerates its whole schedule space and says so.
+func TestDFSExhaustsTinyConfig(t *testing.T) {
+	rep := Explore(Config{
+		Scheme:        "SGL",
+		Program:       "record",
+		Threads:       2,
+		Ops:           1,
+		Preemptions:   1,
+		MaxExecutions: 100000,
+	})
+	if rep.Violation != nil {
+		t.Fatalf("false positive on SGL: %s", rep.Violation.Desc)
+	}
+	if !rep.Exhausted {
+		t.Fatalf("expected DFS to exhaust the 1-preemption space, ran %d executions", rep.Executions)
+	}
+}
+
+// TestBadTokens exercises the decoder's error paths.
+func TestBadTokens(t *testing.T) {
+	for _, tok := range []string{"", "!!!not-base64!!!", "bm90LWpzb24"} {
+		if _, err := DecodeToken(tok); err == nil {
+			t.Errorf("DecodeToken(%q) accepted garbage", tok)
+		}
+		if _, err := Replay(tok); err == nil {
+			t.Errorf("Replay(%q) accepted garbage", tok)
+		}
+	}
+}
+
+// TestReportString sanity-checks the human-readable summary.
+func TestReportString(t *testing.T) {
+	rep := Explore(Config{Scheme: "BRLock", Program: "hashmap", MaxExecutions: 50})
+	s := rep.String()
+	for _, want := range []string{"BRLock", "hashmap", "executions"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Report.String() = %q, missing %q", s, want)
+		}
+	}
+}

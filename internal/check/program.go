@@ -1,0 +1,314 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"hrwle/internal/hashmap"
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/rwlock"
+)
+
+// A program is a small closed workload over a guarded structure, plus the
+// oracle that judges one finished execution. Bodies must be
+// schedule-pure: no per-CPU randomness, so an execution is a function of
+// the schedule alone. Observations are collected into locals inside the
+// critical section and recorded only after the section returns —
+// speculative schemes may re-run bodies, and only the final (committed)
+// attempt's values are real.
+type program struct {
+	setup func(ctx *runCtx)
+	body  func(ctx *runCtx, th *htm.Thread, c *machine.CPU)
+	check func(ctx *runCtx)
+}
+
+// runCtx carries one execution's shared structures and host-side logs.
+// The logs are appended by whichever CPU holds the token, so they need no
+// locking, but their order is append order, not commit order — programs
+// that need the serialization order witness it with an in-simulation
+// sequence word.
+type runCtx struct {
+	cfg  Config
+	m    *machine.Machine
+	sys  *htm.System
+	lock rwlock.Lock
+
+	violations []string
+
+	// record program state.
+	rec    []machine.Addr
+	wrotes []uint64
+
+	// hashmap program state.
+	hm     *hashmap.Map
+	seqA   machine.Addr
+	writes []writeRec
+	reads  []readRec
+}
+
+func (ctx *runCtx) violate(format string, args ...any) {
+	ctx.violations = append(ctx.violations, fmt.Sprintf(format, args...))
+}
+
+// writers returns how many of the threads act as writers: about half,
+// at least one, and always at least one reader when threads > 1.
+func (ctx *runCtx) writers() int {
+	w := ctx.cfg.Threads / 2
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func programFor(name string) program {
+	switch name {
+	case "record":
+		return recordProgram()
+	case "hashmap":
+		return hashmapProgram()
+	}
+	panic("check: unknown program " + name)
+}
+
+// ---------------------------------------------------------------------------
+// record: writers atomically rewrite a multi-line record, readers snapshot
+// it. The oracle checks aggregate-store atomicity (no torn snapshots), no
+// lost updates (the record value counts committed write sections exactly),
+// and per-thread monotonicity.
+
+const recWords = 4
+
+func recordProgram() program {
+	return program{
+		setup: func(ctx *runCtx) {
+			ctx.rec = make([]machine.Addr, recWords)
+			for i := range ctx.rec {
+				// One word per cache line: the write set spans several
+				// lines, so a torn commit is observable between them.
+				ctx.rec[i] = ctx.m.AllocRawAligned(1)
+			}
+		},
+		body: func(ctx *runCtx, th *htm.Thread, c *machine.CPU) {
+			if c.ID < ctx.writers() {
+				for op := 0; op < ctx.cfg.Ops; op++ {
+					var wrote uint64
+					ctx.lock.Write(th, func() {
+						v := th.Load(ctx.rec[0]) + 1
+						for _, a := range ctx.rec {
+							th.Store(a, v)
+						}
+						wrote = v
+					})
+					ctx.wrotes = append(ctx.wrotes, wrote)
+				}
+				return
+			}
+			last := uint64(0)
+			for op := 0; op < ctx.cfg.Ops; op++ {
+				var vals [recWords]uint64
+				ctx.lock.Read(th, func() {
+					for i, a := range ctx.rec {
+						vals[i] = th.Load(a)
+					}
+				})
+				for i := 1; i < recWords; i++ {
+					if vals[i] != vals[0] {
+						ctx.violate("torn read: thread %d observed partial write set %v", c.ID, vals)
+						break
+					}
+				}
+				if vals[0] < last {
+					ctx.violate("non-monotonic read: thread %d saw %d after %d", c.ID, vals[0], last)
+				}
+				last = vals[0]
+			}
+		},
+		check: func(ctx *runCtx) {
+			final := ctx.m.Peek(ctx.rec[0])
+			for i := 1; i < recWords; i++ {
+				if v := ctx.m.Peek(ctx.rec[i]); v != final {
+					ctx.violate("torn final state: word %d = %d, word 0 = %d", i, v, final)
+				}
+			}
+			if int(final) != len(ctx.wrotes) {
+				ctx.violate("lost update: %d write sections committed but record counts %d", len(ctx.wrotes), final)
+			}
+			seen := map[uint64]bool{}
+			for _, v := range ctx.wrotes {
+				if seen[v] {
+					ctx.violate("lost update: two write sections both derived value %d", v)
+				}
+				seen[v] = true
+			}
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// hashmap: a single-bucket chained map under scripted inserts, removes and
+// lookups. Every write section increments an in-simulation sequence word
+// inside the same critical section, so commits carry a linearization
+// witness: sorting write records by sequence number yields the serialization
+// order, and every lookup (which samples the sequence word first) must match
+// the sequential reference replayed to exactly that point.
+
+const keySpace = 4
+
+type writeRec struct {
+	seq    uint64
+	key    uint64
+	val    uint64
+	insert bool // insert/upsert vs remove
+	hit    bool // insert: consumed the node; remove: found the key
+}
+
+type readRec struct {
+	seq uint64
+	key uint64
+	val uint64
+	ok  bool
+}
+
+func hashmapProgram() program {
+	return program{
+		setup: func(ctx *runCtx) {
+			ctx.hm = hashmap.New(ctx.m, 1)
+			ctx.hm.Populate(2) // keys 0,1 with values 0,1
+			ctx.seqA = ctx.m.AllocRawAligned(1)
+		},
+		body: func(ctx *runCtx, th *htm.Thread, c *machine.CPU) {
+			if c.ID < ctx.writers() {
+				for op := 0; op < ctx.cfg.Ops; op++ {
+					key := uint64((c.ID + 2*op) % keySpace)
+					var seq uint64
+					if op%2 == 0 {
+						node := ctx.hm.PrepareNode(th)
+						var consumed bool
+						var val uint64
+						ctx.lock.Write(th, func() {
+							seq = th.Load(ctx.seqA)
+							th.Store(ctx.seqA, seq+1)
+							val = 100 + seq
+							consumed = ctx.hm.Insert(th, key, val, node)
+						})
+						ctx.writes = append(ctx.writes, writeRec{seq: seq, key: key, val: val, insert: true, hit: consumed})
+						if !consumed {
+							ctx.hm.Recycle(th, node)
+						}
+					} else {
+						var removed machine.Addr
+						ctx.lock.Write(th, func() {
+							seq = th.Load(ctx.seqA)
+							th.Store(ctx.seqA, seq+1)
+							removed = ctx.hm.Remove(th, key)
+						})
+						ctx.writes = append(ctx.writes, writeRec{seq: seq, key: key, hit: removed != 0})
+						ctx.hm.Recycle(th, removed)
+					}
+				}
+				return
+			}
+			for op := 0; op < ctx.cfg.Ops; op++ {
+				key := uint64((c.ID + op) % keySpace)
+				var seq, v uint64
+				var ok bool
+				ctx.lock.Read(th, func() {
+					seq = th.Load(ctx.seqA)
+					v, ok = ctx.hm.Lookup(th, key)
+				})
+				ctx.reads = append(ctx.reads, readRec{seq: seq, key: key, val: v, ok: ok})
+			}
+		},
+		check: checkHashmap,
+	}
+}
+
+// refState is the sequential reference: key → (value, present).
+type refState [keySpace]struct {
+	val     uint64
+	present bool
+}
+
+func checkHashmap(ctx *runCtx) {
+	if msg := ctx.hm.CheckChains(); msg != "" {
+		ctx.violate("structural: %s", msg)
+	}
+	n := len(ctx.writes)
+	if got := ctx.m.Peek(ctx.seqA); int(got) != n {
+		ctx.violate("lost update: %d write sections committed but sequence word is %d", n, got)
+	}
+
+	writes := append([]writeRec(nil), ctx.writes...)
+	sort.Slice(writes, func(i, j int) bool { return writes[i].seq < writes[j].seq })
+
+	// Replay the sequential reference in serialization order; states[s] is
+	// the reference before write s (i.e. after s committed writes).
+	states := make([]refState, n+1)
+	var st refState
+	st[0] = struct {
+		val     uint64
+		present bool
+	}{0, true}
+	st[1] = struct {
+		val     uint64
+		present bool
+	}{1, true}
+	states[0] = st
+	for i, w := range writes {
+		if w.seq != uint64(i) {
+			ctx.violate("atomicity: write sections observed sequence numbers %v (want 0..%d each once)", seqsOf(writes), n-1)
+			return
+		}
+		k := w.key % keySpace
+		if w.insert {
+			if w.hit == st[k].present {
+				// Insert consumes the node only when the key was absent.
+				ctx.violate("linearizability: insert(key %d) at seq %d consumed=%v but reference present=%v",
+					w.key, w.seq, w.hit, st[k].present)
+			}
+			st[k].val, st[k].present = w.val, true
+		} else {
+			if w.hit != st[k].present {
+				ctx.violate("linearizability: remove(key %d) at seq %d found=%v but reference present=%v",
+					w.key, w.seq, w.hit, st[k].present)
+			}
+			st[k].present = false
+		}
+		states[i+1] = st
+	}
+
+	for _, r := range ctx.reads {
+		if r.seq > uint64(n) {
+			ctx.violate("lookup observed sequence %d beyond the %d committed writes", r.seq, n)
+			continue
+		}
+		want := states[r.seq][r.key%keySpace]
+		if r.ok != want.present || (r.ok && r.val != want.val) {
+			ctx.violate("linearizability: lookup(key %d) at seq %d returned (%d,%v), reference says (%d,%v)",
+				r.key, r.seq, r.val, r.ok, want.val, want.present)
+		}
+	}
+
+	snap := ctx.hm.Snapshot()
+	final := states[n]
+	for k := uint64(0); k < keySpace; k++ {
+		v, ok := snap[k]
+		if ok != final[k].present || (ok && v != final[k].val) {
+			ctx.violate("final state: key %d = (%d,%v), reference says (%d,%v)", k, v, ok, final[k].val, final[k].present)
+		}
+	}
+	for k := range snap {
+		if k >= keySpace {
+			ctx.violate("final state: unexpected key %d in map", k)
+		}
+	}
+}
+
+func seqsOf(writes []writeRec) []uint64 {
+	out := make([]uint64, len(writes))
+	for i, w := range writes {
+		out[i] = w.seq
+	}
+	return out
+}

@@ -78,6 +78,12 @@ type Options struct {
 	// readers once the transaction cannot commit anyway — an extension
 	// the paper leaves on the table.
 	EarlyAbort bool
+	// UnsafeSkipROTQuiesce is a checker-validation knob: it drops the
+	// quiescence barrier on the ROT path, committing while readers may
+	// still be inside their sections — the exact simplification the paper
+	// shows to be unsound. internal/check must find a violation with this
+	// set. Never enable it outside checker self-tests.
+	UnsafeSkipROTQuiesce bool
 	// Name overrides the reported scheme name.
 	Name string
 }
@@ -361,7 +367,9 @@ func (l *RWLE) writeROT(t *htm.Thread, cs func()) htm.Status {
 	myVer := l.acquire(t, lockWord, lockROT)
 	st := t.Try(true, func() {
 		cs()
-		l.synchronize(t, false, l.verFilter(myVer))
+		if !l.opts.UnsafeSkipROTQuiesce {
+			l.synchronize(t, false, l.verFilter(myVer))
+		}
 	})
 	// Release the writer lock whether the ROT committed or aborted
 	// (paper lines 53 and 67).

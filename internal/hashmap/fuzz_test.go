@@ -1,0 +1,87 @@
+package hashmap_test
+
+import (
+	"testing"
+
+	"hrwle/internal/core"
+	"hrwle/internal/hashmap"
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+)
+
+// FuzzHashmap replays an arbitrary byte string as an operation sequence —
+// through the simulated hashmap under an RW-LE_OPT elided lock on one
+// simulated CPU — and differentially checks every return value and the
+// final contents against a plain Go map.
+//
+// Each input byte encodes one operation: the low two bits select
+// lookup/insert/remove, the rest select the key (small key space so
+// operations collide often).
+func FuzzHashmap(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x05, 0x02, 0x01})
+	f.Add([]byte{0x11, 0x11, 0x12, 0x10, 0x19, 0x1a})
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		m := machine.New(machine.Config{CPUs: 1, MemWords: 1 << 14, Seed: 11})
+		sys := htm.NewSystem(m, htm.Config{})
+		hm := hashmap.New(m, 2)
+		lk := core.New(sys, core.Opt())
+		model := map[uint64]uint64{}
+
+		m.Run(1, func(c *machine.CPU) {
+			th := sys.Thread(0)
+			for i, b := range data {
+				key := uint64(b >> 2 & 0x7)
+				val := uint64(i)<<8 | uint64(b)
+				switch b & 3 {
+				case 1: // insert / update
+					node := hm.PrepareNode(th)
+					var consumed bool
+					lk.Write(th, func() { consumed = hm.Insert(th, key, val, node) })
+					if !consumed {
+						hm.Recycle(th, node)
+					}
+					_, present := model[key]
+					if consumed == present {
+						t.Errorf("op %d: insert(%d) consumed=%v but model present=%v", i, key, consumed, present)
+					}
+					model[key] = val
+				case 2: // remove
+					var gone machine.Addr
+					lk.Write(th, func() { gone = hm.Remove(th, key) })
+					hm.Recycle(th, gone)
+					if _, present := model[key]; present != (gone != 0) {
+						t.Errorf("op %d: remove(%d) found=%v but model present=%v", i, key, gone != 0, present)
+					}
+					delete(model, key)
+				default: // lookup
+					var v uint64
+					var ok bool
+					lk.Read(th, func() { v, ok = hm.Lookup(th, key) })
+					mv, mok := model[key]
+					if ok != mok || (ok && v != mv) {
+						t.Errorf("op %d: lookup(%d) = (%d,%v), model (%d,%v)", i, key, v, ok, mv, mok)
+					}
+				}
+			}
+		})
+
+		if msg := hm.CheckChains(); msg != "" {
+			t.Fatalf("structural check: %s", msg)
+		}
+		snap := hm.Snapshot()
+		if len(snap) != len(model) {
+			t.Fatalf("final size %d, model %d", len(snap), len(model))
+		}
+		for k, v := range model {
+			if sv, ok := snap[k]; !ok || sv != v {
+				t.Errorf("final: key %d = (%d,%v), model %d", k, sv, ok, v)
+			}
+		}
+	})
+}

@@ -64,6 +64,13 @@ type Config struct {
 	ReadCapLines int
 	// WriteCapLines is the write-set budget in cache lines (default 64).
 	WriteCapLines int
+	// UnsafeLoseDoomAtResume is a checker-validation knob: it models
+	// defective hardware that discards conflicts recorded while the
+	// transaction was suspended instead of materializing them at resume.
+	// RW-LE's safety argument (paper §3, Fig. 2) depends on exactly those
+	// dooms, so internal/check must find a violation with this set. Never
+	// enable it outside checker self-tests.
+	UnsafeLoseDoomAtResume bool
 }
 
 func (c *Config) applyDefaults() {

@@ -55,6 +55,12 @@ func (t *Thread) Resume() {
 	t.C.Sync()
 	t.suspended = false
 	t.C.Emit(machine.EvTxResume, 0, 0)
+	if t.sys.Cfg.UnsafeLoseDoomAtResume {
+		// Checker-validation mutation: forget conflicts that arrived
+		// during suspension (see Config.UnsafeLoseDoomAtResume).
+		t.doom = -1
+		t.doomPers = false
+	}
 	t.checkDoom()
 }
 

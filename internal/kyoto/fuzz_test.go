@@ -1,0 +1,78 @@
+package kyoto
+
+import (
+	"testing"
+
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+)
+
+// FuzzKyoto replays an arbitrary byte string as a Get/Set/Remove sequence
+// against the simulated Kyoto Cabinet CacheDB (real inner mutexes, one
+// simulated CPU) and differentially checks it against a plain Go map, plus
+// the DB's own structural invariants (BST shape, LRU lists, counts).
+//
+// Each byte encodes one operation: low two bits select the operation, the
+// rest the key (key space 64 across several slots/buckets so trees grow
+// and collide).
+func FuzzKyoto(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 0x05, 0x06, 0x04})
+	f.Add([]byte{0x11, 0x91, 0x12, 0xd0, 0x19, 0x1a, 0x91, 0x92})
+	f.Add([]byte("sphinx of black quartz, judge my vow"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		cfg := Config{Slots: 2, BucketsPerSlot: 4, Records: 10, KeySpace: 64, Seed: 5}
+		m := machine.New(machine.Config{CPUs: 1, MemWords: cfg.MemWords(), Seed: 13})
+		sys := htm.NewSystem(m, htm.Config{})
+		db := New(m, cfg)
+		db.Populate()
+
+		// Populate inserts Records distinct keys drawn deterministically;
+		// rebuild the model from the DB's own raw walk before mutating.
+		model := map[uint64]uint64{}
+		sys.M.Run(1, func(c *machine.CPU) {
+			th := sys.Thread(0)
+			for k := uint64(0); k < uint64(cfg.KeySpace); k++ {
+				if v, ok := db.Get(th, k, InnerReal); ok {
+					model[k] = v
+				}
+			}
+			for i, b := range data {
+				key := uint64(b >> 2 & 0x3f)
+				val := uint64(i)<<8 | uint64(b)
+				switch b & 3 {
+				case 1: // set (insert or update)
+					node := db.PrepareNode(th)
+					if !db.Set(th, key, val, node, InnerReal, nil) {
+						db.Recycle(th, node)
+					}
+					model[key] = val
+				case 2: // remove
+					gone := db.Remove(th, key, InnerReal)
+					if _, present := model[key]; present != (gone != 0) {
+						t.Errorf("op %d: remove(%d) found=%v but model present=%v", i, key, gone != 0, present)
+					}
+					db.Recycle(th, gone)
+					delete(model, key)
+				default: // get
+					v, ok := db.Get(th, key, InnerReal)
+					mv, mok := model[key]
+					if ok != mok || (ok && v != mv) {
+						t.Errorf("op %d: get(%d) = (%d,%v), model (%d,%v)", i, key, v, ok, mv, mok)
+					}
+				}
+			}
+		})
+
+		if msg := db.CheckTrees(); msg != "" {
+			t.Fatalf("structural check: %s", msg)
+		}
+		if got, want := db.RawCount(), int64(len(model)); got != want {
+			t.Fatalf("final count %d, model %d", got, want)
+		}
+	})
+}

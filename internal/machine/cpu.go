@@ -106,9 +106,8 @@ func (c *CPU) Sync() {
 	if c.now > c.m.Cfg.Deadline {
 		panic(fmt.Sprintf("machine: CPU %d exceeded virtual deadline (%d cycles): livelock?", c.ID, c.m.Cfg.Deadline))
 	}
-	h := &c.m.heap
-	h.fix(c)
-	next := h.min()
+	c.m.heap.fix(c)
+	next := c.m.pickNext(c)
 	if next == c {
 		return
 	}

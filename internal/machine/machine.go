@@ -138,6 +138,9 @@ type Machine struct {
 	lineShift uint
 
 	tracer Tracer
+	sched  Scheduler
+
+	schedScratch []*CPU
 
 	runErr  any
 	runOnce sync.Mutex
@@ -245,7 +248,7 @@ func (m *Machine) Run(threads int, body func(*CPU)) int64 {
 		}(c)
 	}
 	// Hand the token to the first CPU.
-	m.heap.min().token <- struct{}{}
+	m.pickNext(nil).token <- struct{}{}
 	<-done
 	wg.Wait()
 	if m.runErr != nil {
@@ -261,7 +264,7 @@ func (m *Machine) finishCPU(c *CPU, done chan struct{}) {
 	if c.heapIdx >= 0 {
 		m.heap.remove(c)
 	}
-	if next := m.heap.min(); next != nil {
+	if next := m.pickNext(nil); next != nil {
 		next.token <- struct{}{}
 	} else {
 		close(done)

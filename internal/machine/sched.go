@@ -1,0 +1,58 @@
+package machine
+
+// Scheduler chooses which runnable CPU receives the execution token at each
+// scheduling point (a Sync/Spin yield, the start of Run, or a CPU
+// finishing). The default — a nil scheduler — always runs the CPU with the
+// smallest virtual clock, which is what makes virtual-time measurements
+// meaningful; that path is untouched by this hook, so default simulations
+// are bit-for-bit identical with and without it.
+//
+// Controlled schedulers (internal/check) override the choice to explore
+// thread interleavings systematically. Under a controlled scheduler every
+// execution is still a legal sequentially consistent interleaving — exactly
+// one CPU runs at a time and all shared state is mutated in token order —
+// but virtual-time figures are meaningless, since a CPU may be chosen while
+// its clock is ahead of its peers.
+type Scheduler interface {
+	// Pick returns the CPU to run next. runnable is non-empty and sorted
+	// by CPU ID; current is the CPU yielding the token, or nil at run
+	// start and when a CPU just finished. The returned CPU must be one of
+	// runnable. Pick is called from the token-holding goroutine, so it may
+	// not call back into the machine.
+	Pick(current *CPU, runnable []*CPU) *CPU
+}
+
+// SetScheduler installs (or, with nil, removes) a controlled scheduler.
+// It must not be called while Run is in progress.
+func (m *Machine) SetScheduler(s Scheduler) { m.sched = s }
+
+// runnableByID returns the runnable CPUs sorted by ID in a scratch buffer
+// that is reused across calls (valid until the next scheduling point).
+func (m *Machine) runnableByID() []*CPU {
+	m.schedScratch = m.schedScratch[:0]
+	m.schedScratch = append(m.schedScratch, m.heap.cpus...)
+	s := m.schedScratch
+	for i := 1; i < len(s); i++ { // insertion sort: n is small and nearly sorted
+		for j := i; j > 0 && s[j].ID < s[j-1].ID; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s
+}
+
+// pickNext resolves the next CPU to run: the heap minimum by default, or
+// the controlled scheduler's choice when one is installed. It returns nil
+// when no CPU is runnable.
+func (m *Machine) pickNext(current *CPU) *CPU {
+	if m.heap.len() == 0 {
+		return nil
+	}
+	if m.sched == nil {
+		return m.heap.min()
+	}
+	next := m.sched.Pick(current, m.runnableByID())
+	if next == nil || next.heapIdx < 0 {
+		panic("machine: Scheduler.Pick returned a CPU that is not runnable")
+	}
+	return next
+}

@@ -1,0 +1,126 @@
+package machine
+
+import "testing"
+
+// minTimeSched reimplements the default policy (smallest virtual clock,
+// CPU ID tie-break) through the Scheduler hook.
+type minTimeSched struct{ picks int }
+
+func (s *minTimeSched) Pick(current *CPU, runnable []*CPU) *CPU {
+	s.picks++
+	best := runnable[0]
+	for _, c := range runnable[1:] {
+		if c.now < best.now || (c.now == best.now && c.ID < best.ID) {
+			best = c
+		}
+	}
+	return best
+}
+
+// rrSched runs CPUs round-robin by ID regardless of virtual time — a
+// deliberately unrealistic schedule that must still be a legal
+// interleaving.
+type rrSched struct{ last int }
+
+func (s *rrSched) Pick(current *CPU, runnable []*CPU) *CPU {
+	for _, c := range runnable {
+		if c.ID > s.last {
+			s.last = c.ID
+			return c
+		}
+	}
+	s.last = runnable[0].ID
+	return runnable[0]
+}
+
+// contendedRun has every thread hammer a shared counter word with CAS
+// loops plus some private traffic, and returns (final counter, elapsed).
+func contendedRun(m *Machine, threads, opsPer int) (uint64, int64) {
+	ctr := m.AllocRawAligned(1)
+	priv := make([]Addr, threads)
+	for i := range priv {
+		priv[i] = m.AllocRawAligned(1)
+	}
+	elapsed := m.Run(threads, func(c *CPU) {
+		for i := 0; i < opsPer; i++ {
+			for {
+				v := c.Read(ctr)
+				if c.CAS(ctr, v, v+1) {
+					break
+				}
+				c.Spin()
+			}
+			c.Write(priv[c.ID], uint64(i))
+			c.Tick(int64(c.Intn(50)))
+		}
+	})
+	return m.Peek(ctr), elapsed
+}
+
+// TestDefaultSchedulerBitForBit: an explicit Scheduler implementing the
+// min-time policy must reproduce the nil-scheduler run exactly — same
+// result, same virtual time. This is the guarantee that lets the check
+// package hook scheduling without perturbing the paper's figures.
+func TestDefaultSchedulerBitForBit(t *testing.T) {
+	cfg := Config{CPUs: 6, MemWords: 1 << 14, Seed: 77}
+
+	m1 := New(cfg)
+	v1, t1 := contendedRun(m1, 6, 40)
+
+	m2 := New(cfg)
+	sched := &minTimeSched{}
+	m2.SetScheduler(sched)
+	v2, t2 := contendedRun(m2, 6, 40)
+
+	if v1 != v2 || t1 != t2 {
+		t.Fatalf("explicit min-time scheduler diverged from default: (%d,%d) vs (%d,%d)", v1, t1, v2, t2)
+	}
+	if sched.picks == 0 {
+		t.Fatal("scheduler was never consulted")
+	}
+	if v1 != 6*40 {
+		t.Fatalf("counter = %d, want %d", v1, 6*40)
+	}
+}
+
+// TestControlledSchedulerIsLegalAndDeterministic: a time-ignoring
+// round-robin schedule must still complete every CPU's work with correct
+// shared-memory results, and identical runs must be identical.
+func TestControlledSchedulerIsLegalAndDeterministic(t *testing.T) {
+	run := func() (uint64, int64) {
+		m := New(Config{CPUs: 4, MemWords: 1 << 14, Seed: 5})
+		m.SetScheduler(&rrSched{last: -1})
+		return contendedRun(m, 4, 30)
+	}
+	v1, t1 := run()
+	v2, t2 := run()
+	if v1 != 4*30 {
+		t.Fatalf("counter = %d, want %d (round-robin schedule lost updates)", v1, 4*30)
+	}
+	if v1 != v2 || t1 != t2 {
+		t.Fatalf("controlled schedule not deterministic: (%d,%d) vs (%d,%d)", v1, t1, v2, t2)
+	}
+}
+
+// TestSchedulerSeesSortedRunnable: Pick's runnable slice is sorted by CPU
+// ID — the canonical order controlled explorers index their choices by.
+func TestSchedulerSeesSortedRunnable(t *testing.T) {
+	m := New(Config{CPUs: 5, MemWords: 1 << 14, Seed: 3})
+	bad := false
+	m.SetScheduler(schedFunc(func(current *CPU, runnable []*CPU) *CPU {
+		for i := 1; i < len(runnable); i++ {
+			if runnable[i-1].ID >= runnable[i].ID {
+				bad = true
+			}
+		}
+		return runnable[0]
+	}))
+	contendedRun(m, 5, 10)
+	if bad {
+		t.Fatal("runnable slice was not sorted by CPU ID")
+	}
+}
+
+type schedFunc func(*CPU, []*CPU) *CPU
+
+func (f schedFunc) Pick(c *CPU, r []*CPU) *CPU { return f(c, r) }

@@ -1,0 +1,74 @@
+package hrwle
+
+import (
+	"testing"
+
+	"hrwle/internal/harness"
+	"hrwle/internal/stats"
+)
+
+// TestFigureSmoke runs one minimum-scale point of every registered figure:
+// fewest threads, first write-ratio, tiny scale. It guards the whole
+// figure pipeline — registry wiring, per-figure Point functions, workload
+// construction — and checks the reported statistics are self-consistent.
+func TestFigureSmoke(t *testing.T) {
+	for id, spec := range harness.Registry() {
+		id, spec := id, spec
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			if len(spec.Schemes) == 0 || len(spec.Threads) == 0 || len(spec.WritePcts) == 0 {
+				t.Fatalf("figure %s has an empty axis: %+v", id, spec)
+			}
+			threads := spec.Threads[0]
+			for _, n := range spec.Threads {
+				if n < threads {
+					threads = n
+				}
+			}
+			scheme := spec.Schemes[0]
+			r := spec.Point(scheme, threads, spec.WritePcts[0], 0.01)
+
+			if r.B.Ops <= 0 {
+				t.Fatalf("%s/%s: zero ops completed", id, scheme)
+			}
+			if r.Cycles <= 0 {
+				t.Fatalf("%s/%s: zero virtual cycles", id, scheme)
+			}
+			if r.B.ReadCS+r.B.WriteCS <= 0 {
+				t.Fatalf("%s/%s: no critical sections recorded", id, scheme)
+			}
+
+			// The breakdown must account for every transaction attempt:
+			// each HTM/ROT begin either commits speculatively or aborts
+			// (SGL and uninstrumented commits start no transaction).
+			spec := r.B.Commits[stats.CommitHTM] + r.B.Commits[stats.CommitROT]
+			if got := spec + r.B.TotalAborts(); got != r.B.TxStarts {
+				t.Errorf("%s/%s: speculative commits(%d) + aborts(%d) != tx starts(%d)",
+					id, scheme, spec, r.B.TotalAborts(), r.B.TxStarts)
+			}
+			// And every critical section completes on exactly one path.
+			if got := r.B.TotalCommits(); got != r.B.ReadCS+r.B.WriteCS {
+				t.Errorf("%s/%s: total commits(%d) != critical sections(%d)",
+					id, scheme, got, r.B.ReadCS+r.B.WriteCS)
+			}
+			if ar := r.B.AbortRate(); ar < 0 || ar > 100 {
+				t.Errorf("%s/%s: abort rate %f out of range", id, scheme, ar)
+			}
+		})
+	}
+}
+
+// TestFigureSmokeDeterministic re-runs one point and requires identical
+// virtual-time results: the simulator must stay a pure function of its
+// configuration.
+func TestFigureSmokeDeterministic(t *testing.T) {
+	spec, ok := harness.Registry()["fig3"]
+	if !ok {
+		t.Skip("fig3 not registered")
+	}
+	a := spec.Point(spec.Schemes[0], 2, spec.WritePcts[0], 0.01)
+	b := spec.Point(spec.Schemes[0], 2, spec.WritePcts[0], 0.01)
+	if a.Cycles != b.Cycles || a.B.Ops != b.B.Ops || a.B.TxStarts != b.B.TxStarts {
+		t.Fatalf("figure point is not deterministic: %+v vs %+v", a, b)
+	}
+}
