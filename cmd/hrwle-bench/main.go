@@ -6,6 +6,7 @@
 //	hrwle-bench -list
 //	hrwle-bench -fig fig3 [-scale 0.25] [-o fig3.txt]
 //	hrwle-bench -fig all  [-scale 1]
+//	hrwle-bench -fig fig5 -metrics-dir results/metrics   # + RunMetrics JSON
 //
 // Each figure prints three panels matching the paper: execution time (or
 // throughput), the abort-cause breakdown, and the commit-path breakdown.
@@ -21,16 +22,18 @@ import (
 	"time"
 
 	"hrwle/internal/harness"
+	"hrwle/internal/machine"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate (fig3..fig10, retries, split, or 'all')")
-		scale   = flag.Float64("scale", 1.0, "work multiplier per measurement point")
-		out     = flag.String("o", "", "write results to file (default stdout)")
-		list    = flag.Bool("list", false, "list available figures")
-		quiet   = flag.Bool("q", false, "suppress per-point progress")
-		threads = flag.String("threads", "", "override thread counts, e.g. 2,8,32")
+		fig        = flag.String("fig", "", "figure to regenerate (fig3..fig10, retries, split, or 'all')")
+		scale      = flag.Float64("scale", 1.0, "work multiplier per measurement point")
+		out        = flag.String("o", "", "write results to file (default stdout)")
+		list       = flag.Bool("list", false, "list available figures")
+		quiet      = flag.Bool("q", false, "suppress per-point progress")
+		threads    = flag.String("threads", "", "override thread counts, e.g. 2,8,32")
+		metricsDir = flag.String("metrics-dir", "", "collect obs telemetry and write one RunMetrics JSON per (figure, scheme) into this directory (e.g. results/metrics)")
 	)
 	flag.Parse()
 
@@ -69,15 +72,29 @@ func main() {
 	if *quiet {
 		progress = nil
 	}
+	counts := &machine.CountTracer{}
 	for _, id := range ids {
 		spec := figs[id]
 		if *threads != "" {
 			spec.Threads = parseInts(*threads)
 		}
 		start := time.Now()
-		results := spec.Run(*scale, progress)
+		var results []harness.Result
+		if *metricsDir != "" {
+			var err error
+			results, err = harness.RunWithMetrics(spec, *scale, progress, *metricsDir, counts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			results = spec.Run(*scale, progress)
+		}
 		harness.Print(w, spec, results)
 		fmt.Fprintf(os.Stderr, "%s done in %.1fs wall\n", id, time.Since(start).Seconds())
+	}
+	if *metricsDir != "" {
+		fmt.Fprintf(os.Stderr, "metrics JSON written to %s (%d events traced)\n", *metricsDir, counts.Total())
 	}
 }
 

@@ -1,37 +1,60 @@
 // Command hrwle-trace runs a small lock-elision scenario with the machine's
 // event tracer enabled and prints a virtual-time-ordered trace of
-// transaction lifecycle events — begins, dooms, aborts (with cause),
-// suspends, quiescence windows, commits — followed by an event summary.
-// It is the debugging lens for understanding *why* a scheme behaves the
-// way a figure shows.
+// transaction lifecycle events — begins, dooms, aborts (with cause and
+// aggressor CPU), suspends, quiescence windows, commits — followed by an
+// event summary. It is the debugging lens for understanding *why* a scheme
+// behaves the way a figure shows.
+//
+// Beyond the raw event dump it exposes the structured telemetry of
+// internal/obs:
+//
+//	-matrix        print the killer→victim abort-attribution matrix and
+//	               the conflict hot-address ranking
+//	-hist          print per-critical-section latency histograms (split by
+//	               read/write side and final commit path) and the
+//	               quiescence-window histogram
+//	-json FILE     write the full point metrics as deterministic JSON
+//	               ("-" for stdout)
+//	-chrome FILE   write the complete event trace in Chrome trace_event
+//	               format (open in Perfetto or chrome://tracing)
 //
 // Usage:
 //
 //	hrwle-trace [-scheme RW-LE_OPT] [-threads 4] [-ops 30] [-w 20] [-n 120]
+//	            [-seed 7] [-matrix] [-hist] [-json FILE] [-chrome FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"hrwle/internal/harness"
 	"hrwle/internal/hashmap"
 	"hrwle/internal/htm"
 	"hrwle/internal/machine"
+	"hrwle/internal/obs"
 	"hrwle/internal/stats"
 )
 
 func main() {
 	var (
-		scheme  = flag.String("scheme", "RW-LE_OPT", "synchronization scheme (see hrwle-bench -list output)")
-		threads = flag.Int("threads", 4, "simulated hardware threads")
-		ops     = flag.Int("ops", 30, "operations per thread")
-		writes  = flag.Int("w", 20, "write percentage")
-		events  = flag.Int("n", 120, "max events to print")
+		scheme   = flag.String("scheme", "RW-LE_OPT", "synchronization scheme (see hrwle-bench -list output)")
+		threads  = flag.Int("threads", 4, "simulated hardware threads")
+		ops      = flag.Int("ops", 30, "operations per thread")
+		writes   = flag.Int("w", 20, "write percentage")
+		events   = flag.Int("n", 120, "max events to print")
+		seed     = flag.Uint64("seed", 7, "machine seed (identical seeds give identical runs)")
+		matrix   = flag.Bool("matrix", false, "print the killer→victim abort-attribution matrix")
+		hist     = flag.Bool("hist", false, "print per-CS latency and quiescence histograms")
+		jsonOut  = flag.String("json", "", "write point metrics JSON to this file ('-' for stdout)")
+		chrome   = flag.String("chrome", "", "write a Chrome trace_event file (Perfetto / chrome://tracing)")
+		noEvents = flag.Bool("q", false, "suppress the raw event dump")
 	)
 	flag.Parse()
 
-	m := machine.New(machine.Config{CPUs: *threads, MemWords: 1 << 20, Seed: 7})
+	m := machine.New(machine.Config{CPUs: *threads, MemWords: 1 << 20, Seed: *seed})
 	sys := htm.NewSystem(m, htm.Config{})
 	lock := harness.SchemeFactory(*scheme)(sys)
 	h := hashmap.New(m, 4)
@@ -39,7 +62,14 @@ func main() {
 
 	ring := machine.NewRingTracer(*events)
 	counts := &machine.CountTracer{}
-	m.SetTracer(tee{ring, counts})
+	collector := obs.NewCollector()
+	tracers := machine.MultiTracer{ring, counts, collector}
+	var log *machine.LogTracer
+	if *chrome != "" {
+		log = &machine.LogTracer{}
+		tracers = append(tracers, log)
+	}
+	m.SetTracer(tracers)
 
 	cycles := m.Run(*threads, func(c *machine.CPU) {
 		th := sys.Thread(c.ID)
@@ -61,32 +91,69 @@ func main() {
 		}
 	})
 
-	fmt.Printf("scheme=%s threads=%d ops/thread=%d w=%d%%  →  %d virtual cycles\n\n",
-		lock.Name(), *threads, *ops, *writes, cycles)
-	fmt.Printf("%12s %4s %-14s %s\n", "CYCLE", "CPU", "EVENT", "DETAIL")
-	for _, e := range ring.Events() {
-		fmt.Printf("%12d %4d %-14s %s\n", e.Time, e.CPU, e.Kind, detail(e))
-	}
+	fmt.Printf("scheme=%s threads=%d ops/thread=%d w=%d%% seed=%d  →  %d virtual cycles\n\n",
+		lock.Name(), *threads, *ops, *writes, *seed, cycles)
+	if !*noEvents {
+		fmt.Printf("%12s %4s %-14s %s\n", "CYCLE", "CPU", "EVENT", "DETAIL")
+		for _, e := range ring.Events() {
+			fmt.Printf("%12d %4d %-14s %s\n", e.Time, e.CPU, e.Kind, detail(e))
+		}
 
-	fmt.Println("\nevent totals:")
-	for k, n := range counts.Counts {
-		if n > 0 {
-			fmt.Printf("  %-14s %8d\n", machine.EventKind(k), n)
+		fmt.Println("\nevent totals:")
+		for k, n := range counts.Counts {
+			if n > 0 {
+				fmt.Printf("  %-14s %8d\n", machine.EventKind(k), n)
+			}
 		}
 	}
 	b := stats.Merge(sys.Stats(*threads), cycles)
 	fmt.Printf("\naborts: %.1f%% of %d attempts   commits: %s\n",
 		b.AbortRate(), b.TxStarts, b.FormatCommits())
+
+	point := collector.Point(*threads, *writes, cycles, &b)
+	if *matrix {
+		fmt.Println()
+		point.WriteMatrix(os.Stdout)
+	}
+	if *hist {
+		fmt.Println()
+		point.WriteHists(os.Stdout)
+	}
+	if *jsonOut != "" {
+		rm := &obs.RunMetrics{Figure: "trace", Scheme: lock.Name(), Points: []*obs.PointMetrics{point}}
+		if err := writeTo(*jsonOut, rm.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if *chrome != "" {
+		err := writeTo(*chrome, func(w io.Writer) error { return obs.WriteChromeTrace(w, log.Events) })
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chrome trace: %d events → %s (open in Perfetto or chrome://tracing)\n",
+			len(log.Events), *chrome)
+	}
 }
 
-// tee fans events out to multiple tracers.
-type tee struct {
-	a, b machine.Tracer
+// writeTo writes via fn to path, with "-" meaning stdout.
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
-func (t tee) Event(e machine.Event) {
-	t.a.Event(e)
-	t.b.Event(e)
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func detail(e machine.Event) string {
@@ -97,15 +164,35 @@ func detail(e machine.Event) string {
 		}
 		return "HTM"
 	case machine.EvTxAbort, machine.EvTxDoom:
-		return "cause=" + stats.AbortCause(e.Aux).String()
+		cause, killer := htm.UnpackAbortAux(e.Aux)
+		s := "cause=" + cause.String()
+		if killer >= 0 {
+			s += fmt.Sprintf(" killer=cpu%d addr=%d", killer, e.Addr)
+		}
+		return s
 	case machine.EvTxCommit:
 		return fmt.Sprintf("%d dirty words", e.Aux)
 	case machine.EvQuiesceEnd:
 		return fmt.Sprintf("waited %d cycles", e.Aux)
+	case machine.EvCSBegin:
+		write, _, _ := machine.UnpackCS(e.Aux)
+		return csSide(write)
+	case machine.EvCSEnd:
+		write, path, retries := machine.UnpackCS(e.Aux)
+		return fmt.Sprintf("%s path=%s retries=%d", csSide(write), stats.CommitPath(path), retries)
+	case machine.EvPathSwitch:
+		return fmt.Sprintf("to=%d", e.Aux)
 	case machine.EvRead, machine.EvWrite, machine.EvCAS:
 		return fmt.Sprintf("addr=%d val=%d", e.Addr, e.Aux)
 	case machine.EvPageFault:
 		return fmt.Sprintf("page=%d", e.Aux)
 	}
 	return ""
+}
+
+func csSide(write bool) string {
+	if write {
+		return "write-side"
+	}
+	return "read-side"
 }

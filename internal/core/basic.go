@@ -40,12 +40,14 @@ func (l *Basic) clockAddr(id int) machine.Addr { return l.clocks + machine.Addr(
 // Read implements rwlock.Lock (Algorithm 1, RWLE_READ_LOCK/UNLOCK).
 func (l *Basic) Read(t *htm.Thread, cs func()) {
 	t.St.ReadCS++
+	t.C.Emit(machine.EvCSBegin, 0, machine.PackCS(false, 0, 0))
 	ca := l.clockAddr(t.C.ID)
 	t.Store(ca, t.Load(ca)+1) // enter critical section
 	t.C.Fence()               // make sure writers see reader
 	cs()
 	t.Store(ca, t.Load(ca)+1) // exit critical section
 	t.St.Commits[stats.CommitUninstrumented]++
+	t.C.Emit(machine.EvCSEnd, 0, machine.PackCS(false, uint64(stats.CommitUninstrumented), 0))
 }
 
 // Write implements rwlock.Lock (Algorithm 1, RWLE_WRITE_LOCK/UNLOCK):
@@ -54,6 +56,8 @@ func (l *Basic) Read(t *htm.Thread, cs func()) {
 // retried.
 func (l *Basic) Write(t *htm.Thread, cs func()) {
 	t.St.WriteCS++
+	t.C.Emit(machine.EvCSBegin, 0, machine.PackCS(true, 0, 0))
+	var retries uint64
 	for {
 		spinAcquireWord(t, l.wlock)
 		released := false
@@ -69,8 +73,10 @@ func (l *Basic) Write(t *htm.Thread, cs func()) {
 		})
 		if st.OK {
 			t.St.Commits[stats.CommitHTM]++
+			t.C.Emit(machine.EvCSEnd, 0, machine.PackCS(true, uint64(stats.CommitHTM), retries))
 			return
 		}
+		retries++
 		// If the abort hit before the suspended (non-transactional)
 		// release, the lock is still ours and must be freed; if it hit at
 		// resume, the lock was already released and may belong to another
@@ -85,6 +91,13 @@ func (l *Basic) Write(t *htm.Thread, cs func()) {
 // clocks, then wait for every odd one to change.
 func (l *Basic) synchronize(t *htm.Thread) {
 	start := t.C.Now()
+	t.C.Emit(machine.EvQuiesceStart, 0, 0)
+	// Close the window during an abort unwind too (the scan's loads can
+	// doom the enclosing speculation) — see RWLE.synchronize.
+	defer func() {
+		t.St.QuiesceWait += t.C.Now() - start
+		t.C.Emit(machine.EvQuiesceEnd, 0, uint64(t.C.Now()-start))
+	}()
 	snap := make([]uint64, l.nthreads)
 	for i := 0; i < l.nthreads; i++ {
 		snap[i] = t.LoadStream(l.clockAddr(i))
@@ -101,7 +114,6 @@ func (l *Basic) synchronize(t *htm.Thread) {
 			}
 		}
 	}
-	t.St.QuiesceWait += t.C.Now() - start
 }
 
 // spinAcquireWord acquires a test-and-test-and-set spin lock at word a.

@@ -186,6 +186,7 @@ func (l *RWLE) Read(t *htm.Thread, cs func()) {
 		t.St.Commits[stats.CommitUninstrumented]++
 		return
 	}
+	t.C.Emit(machine.EvCSBegin, 0, machine.PackCS(false, 0, 0))
 	if l.opts.Fair {
 		l.readLockFair(t)
 	} else {
@@ -198,6 +199,7 @@ func (l *RWLE) Read(t *htm.Thread, cs func()) {
 	ca := l.clockAddr(t.C.ID)
 	t.Store(ca, t.Load(ca)+1)
 	t.St.Commits[stats.CommitUninstrumented]++
+	t.C.Emit(machine.EvCSEnd, 0, machine.PackCS(false, uint64(stats.CommitUninstrumented), 0))
 }
 
 func (l *RWLE) readLock(t *htm.Thread) {
@@ -276,6 +278,11 @@ func (l *RWLE) Write(t *htm.Thread, cs func()) {
 	htmTried := false
 	enter := func() { ns.depth, ns.writing = 1, true }
 	leave := func() { ns.depth, ns.writing = 0, false }
+	t.C.Emit(machine.EvCSBegin, 0, machine.PackCS(true, 0, 0))
+	var retries uint64
+	done := func(path stats.CommitPath) {
+		t.C.Emit(machine.EvCSEnd, 0, machine.PackCS(true, uint64(path), retries))
+	}
 	for {
 		switch sel.current() {
 		case PathHTM:
@@ -286,9 +293,11 @@ func (l *RWLE) Write(t *htm.Thread, cs func()) {
 			if st.OK {
 				t.St.Commits[stats.CommitHTM]++
 				l.recordAdapt(htmTried, true)
+				done(stats.CommitHTM)
 				return
 			}
-			sel.failed(st.Persistent)
+			retries++
+			l.pathFail(t, &sel, st.Persistent)
 		case PathROT:
 			enter()
 			st := l.writeROT(t, cs)
@@ -296,17 +305,30 @@ func (l *RWLE) Write(t *htm.Thread, cs func()) {
 			if st.OK {
 				t.St.Commits[stats.CommitROT]++
 				l.recordAdapt(htmTried, false)
+				done(stats.CommitROT)
 				return
 			}
-			sel.failed(st.Persistent)
+			retries++
+			l.pathFail(t, &sel, st.Persistent)
 		case PathNS:
 			enter()
 			l.writeNS(t, cs)
 			leave()
 			t.St.Commits[stats.CommitSGL]++
 			l.recordAdapt(htmTried, false)
+			done(stats.CommitSGL)
 			return
 		}
+	}
+}
+
+// pathFail records a failed speculative attempt and emits a path-switch
+// event when the selector falls back to the next path.
+func (l *RWLE) pathFail(t *htm.Thread, sel *pathSelector, persistent bool) {
+	was := sel.current()
+	sel.failed(persistent)
+	if now := sel.current(); now != was {
+		t.C.Emit(machine.EvPathSwitch, 0, uint64(now))
 	}
 }
 
@@ -446,6 +468,14 @@ func (l *RWLE) verFilter(myVer uint64) uint64 {
 func (l *RWLE) synchronize(t *htm.Thread, singlePass bool, myVer uint64) {
 	start := t.C.Now()
 	t.C.Emit(machine.EvQuiesceStart, 0, 0)
+	// The scan itself can abort the enclosing speculation (a reader bumping
+	// its clock dooms the ROT mid-scan, unwinding to Try). Account the
+	// window and close the event on that path too, so no waited cycles are
+	// lost and quiesce-start/end stay balanced.
+	defer func() {
+		t.St.QuiesceWait += t.C.Now() - start
+		t.C.Emit(machine.EvQuiesceEnd, 0, uint64(t.C.Now()-start))
+	}()
 	if singlePass {
 		for i := 0; i < l.nthreads; i++ {
 			l.waitReader(t, i, myVer)
@@ -472,7 +502,6 @@ func (l *RWLE) synchronize(t *htm.Thread, singlePass bool, myVer uint64) {
 					break
 				}
 				if l.doomedEarly(t) {
-					t.St.QuiesceWait += t.C.Now() - start
 					return
 				}
 				t.C.SpinFor(poll)
@@ -482,8 +511,6 @@ func (l *RWLE) synchronize(t *htm.Thread, singlePass bool, myVer uint64) {
 			}
 		}
 	}
-	t.St.QuiesceWait += t.C.Now() - start
-	t.C.Emit(machine.EvQuiesceEnd, 0, uint64(t.C.Now()-start))
 }
 
 // waitReader waits for thread i to leave its current read critical section

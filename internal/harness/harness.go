@@ -98,6 +98,12 @@ type FigureSpec struct {
 // Run sweeps the whole figure and returns all points in a deterministic
 // order. progress, if non-nil, receives one line per completed point.
 func (f *FigureSpec) Run(scale float64, progress io.Writer) []Result {
+	return f.runPoints(scale, progress, nil)
+}
+
+// runPoints is the shared sweep loop behind Run and RunWithMetrics.
+// onPoint, if non-nil, is called with each completed point in order.
+func (f *FigureSpec) runPoints(scale float64, progress io.Writer, onPoint func(Result)) []Result {
 	var out []Result
 	for _, w := range f.WritePcts {
 		for _, n := range f.Threads {
@@ -108,6 +114,9 @@ func (f *FigureSpec) Run(scale float64, progress io.Writer) []Result {
 				r.Threads = n
 				r.WritePct = w
 				out = append(out, r)
+				if onPoint != nil {
+					onPoint(r)
+				}
 				if progress != nil {
 					fmt.Fprintf(progress, "  %s w=%d%% n=%d %-12s %.4fs aborts=%4.1f%% ops=%d\n",
 						f.ID, w, n, s, r.Seconds(), r.B.AbortRate(), r.B.Ops)

@@ -33,6 +33,7 @@ func RunKyoto(threads, writePct, totalOps int, seed uint64, scheme string) Resul
 		MemWords: cfg.MemWords(),
 		Seed:     seed,
 	})
+	observeMachine(m)
 	sys := htm.NewSystem(m, htm.Config{})
 	mk, pol := kyotoScheme(scheme)
 	lock := mk(sys)

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hrwle/internal/machine"
+	"hrwle/internal/obs"
+)
+
+// machineObserver, when non-nil, is invoked by every workload runner right
+// after it constructs its simulated machine and before the run starts. The
+// metrics exporter uses it to install an obs.Collector per measurement
+// point; tests use it to install ad-hoc tracers. Figure sweeps run points
+// strictly sequentially, so a single package-level slot suffices.
+var machineObserver func(*machine.Machine)
+
+// SetMachineObserver installs (or, with nil, removes) the hook called for
+// every machine a workload runner builds.
+func SetMachineObserver(fn func(*machine.Machine)) { machineObserver = fn }
+
+// observeMachine is called by every runner after machine.New.
+func observeMachine(m *machine.Machine) {
+	if machineObserver != nil {
+		machineObserver(m)
+	}
+}
+
+// RunWithMetrics sweeps figure f like FigureSpec.Run while collecting obs
+// telemetry for every point, then writes one RunMetrics JSON per scheme to
+// dir as <figure>-<scheme>.json. extra tracers, if any, observe every
+// point's events too (fanned out through machine.MultiTracer). The files
+// are deterministic: identical seeds produce byte-identical JSON.
+func RunWithMetrics(f *FigureSpec, scale float64, progress io.Writer, dir string, extra ...machine.Tracer) ([]Result, error) {
+	var current *obs.Collector
+	SetMachineObserver(func(m *machine.Machine) {
+		current = obs.NewCollector()
+		ts := machine.MultiTracer{current}
+		ts = append(ts, extra...)
+		m.SetTracer(ts)
+	})
+	defer SetMachineObserver(nil)
+
+	byScheme := map[string]*obs.RunMetrics{}
+	results := f.runPoints(scale, progress, func(r Result) {
+		if current == nil {
+			return // the point's runner does not support observation
+		}
+		rm := byScheme[r.Scheme]
+		if rm == nil {
+			rm = &obs.RunMetrics{Figure: f.ID, Scheme: r.Scheme}
+			byScheme[r.Scheme] = rm
+		}
+		rm.Points = append(rm.Points, current.Point(r.Threads, r.WritePct, r.Cycles, &r.B))
+		current = nil
+	})
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return results, err
+	}
+	schemes := make([]string, 0, len(byScheme))
+	for s := range byScheme {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	for _, s := range schemes {
+		path := filepath.Join(dir, MetricsFileName(f.ID, s))
+		w, err := os.Create(path)
+		if err != nil {
+			return results, err
+		}
+		err = byScheme[s].WriteJSON(w)
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return results, fmt.Errorf("writing %s: %w", path, err)
+		}
+	}
+	return results, nil
+}
+
+// MetricsFileName returns the metrics file name for one (figure, scheme)
+// pair, with scheme characters outside [A-Za-z0-9._-] mapped to '-' so
+// names like "retry=5" stay filesystem-safe.
+func MetricsFileName(figure, scheme string) string {
+	sanitize := func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}
+	return strings.Map(sanitize, figure) + "-" + strings.Map(sanitize, scheme) + ".json"
+}

@@ -18,6 +18,7 @@ func RunRCUHashmap(p HashmapParams) Result {
 		Seed:     p.Seed,
 		Paging:   p.Paging,
 	})
+	observeMachine(m)
 	sys := htm.NewSystem(m, p.HTM)
 	d := rcu.NewDomain(m)
 	h := rcu.NewMap(m, d, p.Buckets)

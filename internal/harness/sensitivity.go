@@ -37,6 +37,7 @@ func RunHashmap(p HashmapParams, mk rwlock.Factory) Result {
 		Seed:     p.Seed,
 		Paging:   p.Paging,
 	})
+	observeMachine(m)
 	sys := htm.NewSystem(m, p.HTM)
 	lock := mk(sys)
 	h := hashmap.New(m, p.Buckets)

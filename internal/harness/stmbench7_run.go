@@ -18,6 +18,7 @@ func RunSTMBench7(threads, writePct, totalOps int, seed uint64, mk rwlock.Factor
 		MemWords: cfg.MemWords(),
 		Seed:     seed,
 	})
+	observeMachine(m)
 	sys := htm.NewSystem(m, htm.Config{})
 	lock := mk(sys)
 	b := stmbench7.Build(m, cfg)

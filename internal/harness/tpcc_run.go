@@ -17,6 +17,7 @@ func RunTPCC(threads, writePct, totalOps int, seed uint64, mk rwlock.Factory) Re
 		MemWords: cfg.MemWords(int64(totalOps)),
 		Seed:     seed,
 	})
+	observeMachine(m)
 	sys := htm.NewSystem(m, htm.Config{})
 	lock := mk(sys)
 	db := tpcc.Build(m, cfg)

@@ -1,0 +1,110 @@
+package htm
+
+import (
+	"testing"
+
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+func TestPackAbortAuxRoundTrip(t *testing.T) {
+	for cause := stats.AbortCause(0); int(cause) < stats.NumAbortCauses; cause++ {
+		for _, killer := range []int{-1, 0, 1, 63, 126} {
+			c, k := UnpackAbortAux(PackAbortAux(cause, killer))
+			if c != cause || k != killer {
+				t.Errorf("roundtrip(%v,%d) = (%v,%d)", cause, killer, c, k)
+			}
+		}
+	}
+}
+
+// TestDoomAndAbortCarryKillerAndAddr reproduces the paper's Fig. 2
+// causality: an uninstrumented (non-tx) reader arrives at a line the
+// speculating writer has stored to, dooming it. Both the EvTxDoom and the
+// later EvTxAbort must attribute the reader's CPU as the killer and carry
+// the conflicting address.
+func TestDoomAndAbortCarryKillerAndAddr(t *testing.T) {
+	s := newSys(2)
+	s.M.Poke(addr(0), 1)
+	log := &machine.LogTracer{}
+	s.M.SetTracer(log)
+	s.M.Run(2, func(c *machine.CPU) {
+		if c.ID == 0 {
+			th := s.Thread(0)
+			th.Try(false, func() {
+				th.Store(addr(0), 5)
+				c.Tick(10_000) // stay speculative while CPU 1 reads
+				th.Load(addr(1))
+			})
+		} else {
+			c.Tick(2_000)
+			s.Thread(1).Load(addr(0)) // non-tx read mid-speculation
+		}
+	})
+
+	var doom, abort *machine.Event
+	for i := range log.Events {
+		e := &log.Events[i]
+		switch e.Kind {
+		case machine.EvTxDoom:
+			doom = e
+		case machine.EvTxAbort:
+			abort = e
+		}
+	}
+	if doom == nil || abort == nil {
+		t.Fatalf("missing events: doom=%v abort=%v", doom, abort)
+	}
+	for name, e := range map[string]*machine.Event{"doom": doom, "abort": abort} {
+		cause, killer := UnpackAbortAux(e.Aux)
+		if cause != stats.AbortConflictNonTx {
+			t.Errorf("%s cause = %v, want non-tx conflict", name, cause)
+		}
+		if killer != 1 {
+			t.Errorf("%s killer = %d, want CPU 1 (the reader)", name, killer)
+		}
+		if e.Addr != addr(0) {
+			t.Errorf("%s addr = %d, want %d", name, e.Addr, addr(0))
+		}
+		if e.CPU != 0 {
+			t.Errorf("%s victim CPU = %d, want 0 (the writer)", name, e.CPU)
+		}
+	}
+	if doom.Time > abort.Time {
+		t.Error("doom recorded after the abort it explains")
+	}
+}
+
+// TestEnvironmentAbortHasNoKiller checks that aborts with no aggressor CPU
+// (here an explicit abort) are attributed to killer -1 with no address.
+func TestEnvironmentAbortHasNoKiller(t *testing.T) {
+	s := newSys(1)
+	log := &machine.LogTracer{}
+	s.M.SetTracer(log)
+	s.M.Run(1, func(c *machine.CPU) {
+		th := s.Thread(0)
+		th.Try(false, func() {
+			th.Store(addr(0), 9)
+			th.Abort(stats.AbortExplicit)
+		})
+	})
+	var abort *machine.Event
+	for i := range log.Events {
+		if log.Events[i].Kind == machine.EvTxAbort {
+			abort = &log.Events[i]
+		}
+	}
+	if abort == nil {
+		t.Fatal("no abort event")
+	}
+	cause, killer := UnpackAbortAux(abort.Aux)
+	if cause != stats.AbortExplicit {
+		t.Errorf("cause = %v, want explicit", cause)
+	}
+	if killer != -1 {
+		t.Errorf("killer = %d, want -1 (no aggressor)", killer)
+	}
+	if abort.Addr != 0 {
+		t.Errorf("addr = %d, want 0", abort.Addr)
+	}
+}

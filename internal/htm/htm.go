@@ -146,11 +146,13 @@ type Thread struct {
 	C  *machine.CPU
 	St stats.Thread
 
-	sys       *System
-	mode      Mode
-	suspended bool
-	doom      stats.AbortCause // pending abort cause; -1 when clean
-	doomPers  bool
+	sys        *System
+	mode       Mode
+	suspended  bool
+	doom       stats.AbortCause // pending abort cause; -1 when clean
+	doomPers   bool
+	doomKiller int          // CPU whose access doomed us; -1 = environment/none
+	doomAddr   machine.Addr // address of the dooming access; 0 when unknown
 
 	readLines  []int64
 	writeLines []int64
@@ -159,7 +161,7 @@ type Thread struct {
 }
 
 func newThread(s *System, c *machine.CPU) *Thread {
-	t := &Thread{C: c, sys: s, doom: -1, writeBuf: make(map[machine.Addr]uint64)}
+	t := &Thread{C: c, sys: s, doom: -1, doomKiller: -1, writeBuf: make(map[machine.Addr]uint64)}
 	// Interrupts and page faults discard speculative state on real
 	// hardware; model both as a non-transactional doom.
 	c.OnInterrupt = t.doomFromEnvironment
@@ -173,12 +175,14 @@ func (t *Thread) doomFromEnvironment() {
 	if t.mode == ModeNone {
 		return
 	}
-	t.setDoom(false)
+	t.setDoom(false, -1, 0)
 }
 
 // setDoom records a pending conflict abort. sourceTx tells whether the
-// conflicting access came from inside another transaction.
-func (t *Thread) setDoom(sourceTx bool) {
+// conflicting access came from inside another transaction; killer is the
+// CPU that performed it (-1 for VM-subsystem dooms) and a its address, both
+// preserved so the eventual abort can be attributed.
+func (t *Thread) setDoom(sourceTx bool, killer int, a machine.Addr) {
 	if t.doom >= 0 {
 		return
 	}
@@ -191,7 +195,22 @@ func (t *Thread) setDoom(sourceTx bool) {
 		t.doom = stats.AbortConflictNonTx
 	}
 	t.doomPers = false
-	t.C.Emit(machine.EvTxDoom, 0, uint64(t.doom))
+	t.doomKiller = killer
+	t.doomAddr = a
+	t.C.Emit(machine.EvTxDoom, a, PackAbortAux(t.doom, killer))
+}
+
+// PackAbortAux encodes the Aux payload of EvTxDoom/EvTxAbort events: the
+// abort cause in the low byte and the aggressor CPU (+1, so 0 means "none":
+// capacity, explicit and VM-subsystem aborts have no killer) in the next.
+func PackAbortAux(cause stats.AbortCause, killer int) uint64 {
+	return uint64(cause)&0xff | uint64(killer+1)<<8
+}
+
+// UnpackAbortAux decodes an Aux payload produced by PackAbortAux; killer is
+// -1 when the abort had no aggressor CPU.
+func UnpackAbortAux(aux uint64) (cause stats.AbortCause, killer int) {
+	return stats.AbortCause(aux & 0xff), int(aux>>8&0xff) - 1
 }
 
 // Mode returns the thread's current speculation mode.
@@ -223,10 +242,16 @@ func (t *Thread) abort(cause stats.AbortCause, persistent bool) {
 	if t.mode == ModeNone {
 		panic("htm: abort outside transaction")
 	}
+	// Attribute the abort to the recorded doom when that is what fires;
+	// capacity/explicit/lock-busy aborts have no aggressor.
+	killer, addr := -1, machine.Addr(0)
+	if t.doom == cause {
+		killer, addr = t.doomKiller, t.doomAddr
+	}
 	t.rollback()
 	t.St.Aborts[cause]++
 	t.C.Tick(t.C.Costs().AbortPenalty)
-	t.C.Emit(machine.EvTxAbort, 0, uint64(cause))
+	t.C.Emit(machine.EvTxAbort, addr, PackAbortAux(cause, killer))
 	panic(abortSignal{cause, persistent})
 }
 
@@ -249,6 +274,8 @@ func (t *Thread) rollback() {
 	t.mode = ModeNone
 	t.suspended = false
 	t.doom = -1
+	t.doomKiller = -1
+	t.doomAddr = 0
 }
 
 func (t *Thread) mustBeActive(op string) {

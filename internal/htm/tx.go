@@ -153,7 +153,7 @@ func (t *Thread) loadData(a machine.Addr) uint64 {
 
 	if t.mode == ModeNone || t.suspended {
 		if e.writer != nil && e.writer != t {
-			e.writer.setDoom(false)
+			e.writer.setDoom(false, t.C.ID, a)
 		}
 		// Suspended loads do not observe the transaction's own
 		// speculative stores (POWER8: transactional state is not
@@ -163,7 +163,7 @@ func (t *Thread) loadData(a machine.Addr) uint64 {
 
 	t.checkDoom()
 	if e.writer != nil && e.writer != t {
-		e.writer.setDoom(true)
+		e.writer.setDoom(true, t.C.ID, a)
 	}
 	if e.writer == t {
 		if v, ok := t.writeBuf[a]; ok {
@@ -193,17 +193,17 @@ func (t *Thread) Store(a machine.Addr, v uint64) {
 	e := &t.sys.dir[line]
 
 	if t.mode == ModeNone || t.suspended {
-		t.doomAllNonTx(e)
+		t.doomAllNonTx(e, a)
 		m.Poke(a, v)
 		return
 	}
 
 	t.checkDoom()
 	if e.writer != nil && e.writer != t {
-		e.writer.setDoom(true)
+		e.writer.setDoom(true, t.C.ID, a)
 	}
 	if e.anyOtherReader(t.C.ID) {
-		t.doomReaders(e, true)
+		t.doomReaders(e, true, a)
 	}
 	if e.writer != t {
 		capacity := t.sys.Cfg.WriteCapLines
@@ -232,7 +232,7 @@ func (t *Thread) CAS(a machine.Addr, old, new uint64) bool {
 	}
 	e := t.dirAt(a)
 	ok := t.C.CAS(a, old, new)
-	t.doomAllNonTx(e)
+	t.doomAllNonTx(e, a)
 	return ok
 }
 
@@ -263,17 +263,17 @@ func (t *Thread) Free(a machine.Addr, n int64) { t.C.Free(a, n) }
 func (t *Thread) FreeAligned(a machine.Addr, n int64) { t.C.FreeAligned(a, n) }
 
 // doomAllNonTx dooms the writer and all readers of e due to a
-// non-transactional access by t.
-func (t *Thread) doomAllNonTx(e *dirEntry) {
+// non-transactional access by t at address a.
+func (t *Thread) doomAllNonTx(e *dirEntry, a machine.Addr) {
 	if e.writer != nil && e.writer != t {
-		e.writer.setDoom(false)
+		e.writer.setDoom(false, t.C.ID, a)
 	}
 	if e.anyOtherReader(t.C.ID) {
-		t.doomReaders(e, false)
+		t.doomReaders(e, false, a)
 	}
 }
 
-func (t *Thread) doomReaders(e *dirEntry, sourceTx bool) {
+func (t *Thread) doomReaders(e *dirEntry, sourceTx bool, a machine.Addr) {
 	for w := 0; w < 2; w++ {
 		mask := e.readers[w]
 		for mask != 0 {
@@ -282,7 +282,7 @@ func (t *Thread) doomReaders(e *dirEntry, sourceTx bool) {
 			if id == t.C.ID {
 				continue
 			}
-			t.sys.threads[id].setDoom(sourceTx)
+			t.sys.threads[id].setDoom(sourceTx, t.C.ID, a)
 		}
 	}
 }

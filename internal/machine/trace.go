@@ -24,12 +24,21 @@ const (
 	EvQuiesceStart
 	EvQuiesceEnd
 	EvPathSwitch
+	// Critical-section span events (emitted by internal/core): one
+	// begin/end pair per outermost critical section, bracketing every
+	// speculative attempt, retry and fallback inside it. Aux is encoded
+	// with PackCS/UnpackCS.
+	EvCSBegin
+	EvCSEnd
+
+	NumEventKinds = int(EvCSEnd) + 1
 )
 
 var eventNames = [...]string{
 	"read", "write", "cas", "page-fault", "interrupt",
 	"tx-begin", "tx-commit", "tx-abort", "tx-suspend", "tx-resume", "tx-doom",
 	"quiesce-start", "quiesce-end", "path-switch",
+	"cs-begin", "cs-end",
 }
 
 func (k EventKind) String() string { return eventNames[k] }
@@ -103,3 +112,53 @@ type CountTracer struct {
 
 // Event implements Tracer.
 func (c *CountTracer) Event(e Event) { c.Counts[e.Kind]++ }
+
+// Total returns the number of events observed across all kinds.
+func (c *CountTracer) Total() int64 {
+	var n int64
+	for _, v := range c.Counts {
+		n += v
+	}
+	return n
+}
+
+// LogTracer retains every event in arrival order, unbounded. Use it when a
+// complete trace is needed (e.g. for the Chrome trace exporter); prefer
+// RingTracer when only the tail matters.
+type LogTracer struct {
+	Events []Event
+}
+
+// Event implements Tracer.
+func (l *LogTracer) Event(e Event) { l.Events = append(l.Events, e) }
+
+// MultiTracer fans each event out to every listed tracer, in order. Nil
+// entries are skipped, so optional consumers can be composed without
+// branching at the installation site.
+type MultiTracer []Tracer
+
+// Event implements Tracer.
+func (m MultiTracer) Event(e Event) {
+	for _, t := range m {
+		if t != nil {
+			t.Event(e)
+		}
+	}
+}
+
+// PackCS encodes the Aux payload of EvCSBegin/EvCSEnd events: bit 0 is the
+// side (1 = write), bits 8-15 carry the final commit path (stats.CommitPath;
+// meaningful on EvCSEnd only) and bits 16+ the number of aborted speculative
+// attempts inside the section.
+func PackCS(write bool, path uint64, retries uint64) uint64 {
+	aux := path<<8 | retries<<16
+	if write {
+		aux |= 1
+	}
+	return aux
+}
+
+// UnpackCS decodes an Aux payload produced by PackCS.
+func UnpackCS(aux uint64) (write bool, path uint64, retries uint64) {
+	return aux&1 != 0, aux >> 8 & 0xff, aux >> 16
+}

@@ -61,9 +61,86 @@ func TestNoTracerNoOverheadPath(t *testing.T) {
 }
 
 func TestEventKindNames(t *testing.T) {
-	for k := EvRead; k <= EvPathSwitch; k++ {
-		if k.String() == "" {
+	for k := 0; k < NumEventKinds; k++ {
+		if EventKind(k).String() == "" {
 			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if len(eventNames) != NumEventKinds {
+		t.Errorf("eventNames has %d entries, want %d", len(eventNames), NumEventKinds)
+	}
+}
+
+// TestRingTracerWraparoundOrdering drives the ring through several
+// eviction cycles and checks Events() keeps strict arrival order with the
+// oldest retained event first, at every fill level.
+func TestRingTracerWraparoundOrdering(t *testing.T) {
+	for _, cap := range []int{1, 3, 4} {
+		for n := 0; n <= 3*cap; n++ {
+			r := NewRingTracer(cap)
+			for i := 0; i < n; i++ {
+				r.Event(Event{Time: int64(i)})
+			}
+			evs := r.Events()
+			want := n
+			if want > cap {
+				want = cap
+			}
+			if len(evs) != want {
+				t.Fatalf("cap=%d n=%d: retained %d events, want %d", cap, n, len(evs), want)
+			}
+			for i, e := range evs {
+				if wantT := int64(n - want + i); e.Time != wantT {
+					t.Fatalf("cap=%d n=%d: event %d has time %d, want %d", cap, n, i, e.Time, wantT)
+				}
+			}
+		}
+	}
+}
+
+// TestCountTracerMatchesRingTotal fans one event stream into a CountTracer
+// and a (smaller) RingTracer via MultiTracer: the per-kind tallies must sum
+// to exactly the ring's eviction-inclusive total.
+func TestCountTracerMatchesRingTotal(t *testing.T) {
+	ring := NewRingTracer(8)
+	counts := &CountTracer{}
+	mt := MultiTracer{counts, nil, ring} // nil entries must be skipped
+	for i := 0; i < 100; i++ {
+		mt.Event(Event{Kind: EventKind(i % NumEventKinds), Time: int64(i)})
+	}
+	if counts.Total() != ring.Total() {
+		t.Errorf("CountTracer.Total = %d, RingTracer.Total = %d", counts.Total(), ring.Total())
+	}
+	if ring.Total() != 100 {
+		t.Errorf("ring total = %d, want 100", ring.Total())
+	}
+	if len(ring.Events()) != 8 {
+		t.Errorf("ring retained %d, want 8", len(ring.Events()))
+	}
+}
+
+func TestLogTracerKeepsEverything(t *testing.T) {
+	log := &LogTracer{}
+	for i := 0; i < 1000; i++ {
+		log.Event(Event{Time: int64(i)})
+	}
+	if len(log.Events) != 1000 {
+		t.Fatalf("retained %d events", len(log.Events))
+	}
+	if log.Events[999].Time != 999 {
+		t.Error("arrival order lost")
+	}
+}
+
+func TestPackCSRoundTrip(t *testing.T) {
+	for _, write := range []bool{false, true} {
+		for path := uint64(0); path < 4; path++ {
+			for _, retries := range []uint64{0, 1, 7, 1000} {
+				w, p, r := UnpackCS(PackCS(write, path, retries))
+				if w != write || p != path || r != retries {
+					t.Errorf("roundtrip(%v,%d,%d) = (%v,%d,%d)", write, path, retries, w, p, r)
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+// chromeEvent is one record of the Chrome trace_event format (the JSON
+// array flavour understood by Perfetto and chrome://tracing). Virtual
+// cycles are reported as microseconds — the absolute unit is meaningless
+// for a simulator, the relative timeline is what matters.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace converts a complete event trace into Chrome
+// trace_event JSON: critical sections, transactions, suspended windows and
+// quiescence loops become nested duration slices per CPU; dooms,
+// path switches, interrupts and page faults become instant markers.
+// Memory accesses (read/write/CAS) are omitted — they dominate event
+// volume without adding timeline structure; use the hot-address ranking
+// for them. Output is deterministic for a deterministic trace, and B/E
+// pairs are guaranteed well-nested per tid even when an abort unwinds
+// through nested windows.
+func WriteChromeTrace(w io.Writer, events []machine.Event) error {
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+
+	// Chrome's B/E slices must nest properly per tid (an E always closes
+	// the innermost open B). The machine's streams are balanced, but an
+	// abort unwinding through nested windows can end an outer slice while
+	// an inner one is still open (E tx-abort before E quiesce); track the
+	// open slices per tid, synthesize closes for inner slices when an outer
+	// end arrives, and drop ends whose slice was already closed that way.
+	type openSlice struct{ cat, name string }
+	open := map[int][]openSlice{} // tid → stack of open slices
+
+	for _, e := range events {
+		ce := chromeEvent{Ts: e.Time, Pid: 0, Tid: e.CPU}
+		cat := "" // slice category of this record; "" = instant
+		switch e.Kind {
+		case machine.EvCSBegin:
+			write, _, _ := machine.UnpackCS(e.Aux)
+			ce.Ph, ce.Name, cat = "B", "cs read", "cs"
+			if write {
+				ce.Name = "cs write"
+			}
+		case machine.EvCSEnd:
+			write, path, retries := machine.UnpackCS(e.Aux)
+			ce.Ph, ce.Name, cat = "E", "cs read", "cs"
+			if write {
+				ce.Name = "cs write"
+			}
+			ce.Args = map[string]any{
+				"path":    stats.CommitPath(path).String(),
+				"retries": retries,
+			}
+		case machine.EvTxBegin:
+			ce.Ph, ce.Name, cat = "B", "tx HTM", "tx"
+			if e.Aux == 1 {
+				ce.Name = "tx ROT"
+			}
+		case machine.EvTxCommit:
+			ce.Ph, ce.Name, cat = "E", "tx", "tx"
+			ce.Args = map[string]any{"outcome": "commit", "dirty_words": e.Aux}
+		case machine.EvTxAbort:
+			cause, killer := htm.UnpackAbortAux(e.Aux)
+			ce.Ph, ce.Name, cat = "E", "tx", "tx"
+			ce.Args = map[string]any{
+				"outcome": "abort",
+				"cause":   cause.String(),
+				"killer":  killer,
+				"addr":    int64(e.Addr),
+			}
+		case machine.EvTxSuspend:
+			ce.Ph, ce.Name, cat = "B", "suspended", "suspended"
+		case machine.EvTxResume:
+			ce.Ph, ce.Name, cat = "E", "suspended", "suspended"
+		case machine.EvQuiesceStart:
+			ce.Ph, ce.Name, cat = "B", "quiesce", "quiesce"
+		case machine.EvQuiesceEnd:
+			ce.Ph, ce.Name, cat = "E", "quiesce", "quiesce"
+			ce.Args = map[string]any{"waited_cycles": e.Aux}
+		case machine.EvTxDoom:
+			cause, killer := htm.UnpackAbortAux(e.Aux)
+			ce.Ph, ce.Name = "i", "doom"
+			ce.Args = map[string]any{
+				"cause":  cause.String(),
+				"killer": killer,
+				"addr":   int64(e.Addr),
+			}
+		case machine.EvPathSwitch:
+			ce.Ph, ce.Name = "i", "path-switch"
+			ce.Args = map[string]any{"to": pathName(e.Aux)}
+		case machine.EvInterrupt:
+			ce.Ph, ce.Name = "i", "interrupt"
+		case machine.EvPageFault:
+			ce.Ph, ce.Name = "i", "page-fault"
+			ce.Args = map[string]any{"page": e.Aux}
+		default:
+			continue // memory accesses: see doc comment
+		}
+		if cat != "" {
+			stack := open[e.CPU]
+			if ce.Ph == "B" {
+				open[e.CPU] = append(stack, openSlice{cat, ce.Name})
+			} else {
+				idx := -1
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i].cat == cat {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 {
+					continue // slice already closed by an unwind; drop
+				}
+				for i := len(stack) - 1; i > idx; i-- {
+					out.TraceEvents = append(out.TraceEvents, chromeEvent{
+						Name: stack[i].name, Ph: "E", Ts: e.Time, Pid: 0, Tid: e.CPU,
+						Args: map[string]any{"closed_by": "abort-unwind"},
+					})
+				}
+				open[e.CPU] = stack[:idx]
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&out)
+}
+
+// pathName renders a core.Path value carried in a path-switch event
+// without importing internal/core (which imports this package's siblings).
+func pathName(p uint64) string {
+	switch p {
+	case 0:
+		return "HTM"
+	case 1:
+		return "ROT"
+	default:
+		return "NS"
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import "math/bits"
+
+// Hist is a log2-bucketed histogram of non-negative cycle counts. Bucket 0
+// counts zero values; bucket i (i >= 1) counts values in [2^(i-1), 2^i).
+// Log bucketing keeps the histogram tiny and exact-deterministic while
+// still resolving the orders-of-magnitude spread between an uncontended
+// read section and a quiescence-stalled SGL fallback.
+type Hist struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [65]int64
+}
+
+// Add records one value. Negative values are clamped to zero (they cannot
+// occur for well-formed spans; clamping keeps the histogram total honest if
+// they ever do).
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Buckets[bits.Len64(uint64(v))]++
+}
+
+// Mean returns the arithmetic mean of recorded values.
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// bucketLo returns the inclusive lower bound of bucket i.
+func bucketLo(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// JSON converts the histogram to its export form (non-empty buckets only).
+func (h *Hist) JSON() HistJSON {
+	out := HistJSON{Count: h.Count, SumCycles: h.Sum, MaxCycles: h.Max}
+	for i, n := range h.Buckets {
+		if n > 0 {
+			out.Buckets = append(out.Buckets, HistBucket{LoCycles: bucketLo(i), Count: n})
+		}
+	}
+	return out
+}
+
+// HistJSON is the exported form of a Hist: totals plus the non-empty
+// log2 buckets, each identified by its inclusive lower bound in cycles.
+type HistJSON struct {
+	Count     int64        `json:"count"`
+	SumCycles int64        `json:"sum_cycles"`
+	MaxCycles int64        `json:"max_cycles"`
+	Buckets   []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one non-empty histogram bucket.
+type HistBucket struct {
+	LoCycles int64 `json:"lo_cycles"`
+	Count    int64 `json:"count"`
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 2, 3, 4, -5} {
+		h.Add(v)
+	}
+	if h.Count != 6 || h.Sum != 10 || h.Max != 4 {
+		t.Errorf("count=%d sum=%d max=%d", h.Count, h.Sum, h.Max)
+	}
+	j := h.JSON()
+	want := []HistBucket{
+		{LoCycles: 0, Count: 2}, // 0 and the clamped -5
+		{LoCycles: 1, Count: 1},
+		{LoCycles: 2, Count: 2}, // 2 and 3
+		{LoCycles: 4, Count: 1},
+	}
+	if len(j.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", j.Buckets)
+	}
+	for i, b := range j.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+	if got := h.Mean(); got != 10.0/6 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+// syntheticFeed drives one fixed event sequence into a collector: a write
+// span on CPU 0 (doomed once, quiesced 50 cycles, finally ROT), a read span
+// on CPU 1, and a CSEnd on CPU 2 whose begin predates the trace.
+func syntheticFeed(c *Collector) {
+	aux := htm.PackAbortAux(stats.AbortROTConflict, 1)
+	c.Event(machine.Event{Kind: machine.EvCSBegin, Time: 100, CPU: 0, Aux: machine.PackCS(true, 0, 0)})
+	c.Event(machine.Event{Kind: machine.EvTxDoom, Time: 150, CPU: 0, Addr: 64, Aux: aux})
+	c.Event(machine.Event{Kind: machine.EvTxAbort, Time: 160, CPU: 0, Addr: 64, Aux: aux})
+	c.Event(machine.Event{Kind: machine.EvQuiesceEnd, Time: 300, CPU: 0, Aux: 50})
+	c.Event(machine.Event{Kind: machine.EvCSEnd, Time: 400, CPU: 0,
+		Aux: machine.PackCS(true, uint64(stats.CommitROT), 1)})
+	c.Event(machine.Event{Kind: machine.EvCSBegin, Time: 0, CPU: 1, Aux: machine.PackCS(false, 0, 0)})
+	c.Event(machine.Event{Kind: machine.EvCSEnd, Time: 10, CPU: 1,
+		Aux: machine.PackCS(false, uint64(stats.CommitUninstrumented), 0)})
+	c.Event(machine.Event{Kind: machine.EvCSEnd, Time: 500, CPU: 2,
+		Aux: machine.PackCS(true, uint64(stats.CommitSGL), 3)})
+}
+
+func TestCollectorSpansMatrixAndHotAddrs(t *testing.T) {
+	c := NewCollector()
+	syntheticFeed(c)
+
+	cells := c.Matrix()
+	if len(cells) != 1 {
+		t.Fatalf("matrix = %+v", cells)
+	}
+	cell := cells[0]
+	if cell.Cause != "ROT conflicts" || cell.Killer != 1 || cell.Victim != 0 || cell.Count != 1 {
+		t.Errorf("cell = %+v", cell)
+	}
+
+	hot := c.HotAddrs(HotAddrLimit)
+	if len(hot) != 1 || hot[0].Addr != 64 || hot[0].Count != 1 {
+		t.Errorf("hot addrs = %+v", hot)
+	}
+
+	// The partial span on CPU 2 must be dropped: exactly two spans survive,
+	// read-side listed before write-side.
+	spans := c.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	rd, wr := spans[0], spans[1]
+	if rd.Side != "read" || rd.Path != "Uninstrumented" || rd.Count != 1 || rd.Latency.SumCycles != 10 {
+		t.Errorf("read span = %+v", rd)
+	}
+	if wr.Side != "write" || wr.Path != "ROT" || wr.Count != 1 || wr.Retries != 1 ||
+		wr.QuiesceCycles != 50 || wr.Latency.SumCycles != 300 {
+		t.Errorf("write span = %+v", wr)
+	}
+
+	q := c.QuiesceHist()
+	if q.Count != 1 || q.SumCycles != 50 {
+		t.Errorf("quiesce hist = %+v", q)
+	}
+}
+
+func TestHotAddrOrderingAndLimit(t *testing.T) {
+	c := NewCollector()
+	feed := func(addr machine.Addr, n int) {
+		for i := 0; i < n; i++ {
+			c.Event(machine.Event{Kind: machine.EvTxDoom, Addr: addr,
+				Aux: htm.PackAbortAux(stats.AbortConflictTx, 0)})
+		}
+	}
+	feed(96, 2)
+	feed(32, 5)
+	feed(64, 2) // ties with 96 on count; lower address must win
+	feed(0, 9)  // addr 0 = no address; must not be ranked
+
+	hot := c.HotAddrs(2)
+	if len(hot) != 2 || hot[0] != (AddrConflicts{Addr: 32, Count: 5}) ||
+		hot[1] != (AddrConflicts{Addr: 64, Count: 2}) {
+		t.Errorf("hot addrs = %+v", hot)
+	}
+}
+
+func TestPointJSONDeterministicAndValid(t *testing.T) {
+	render := func() []byte {
+		c := NewCollector()
+		syntheticFeed(c)
+		b := &stats.Breakdown{Threads: 3, Cycles: 500, TxStarts: 2, QuiesceWait: 50}
+		b.Aborts[stats.AbortROTConflict] = 1
+		b.Commits[stats.CommitROT] = 1
+		rm := &RunMetrics{Figure: "test", Scheme: "RW-LE_PES",
+			Points: []*PointMetrics{c.Point(3, 20, 500, b)}}
+		var buf bytes.Buffer
+		if err := rm.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Error("identical feeds produced different JSON")
+	}
+	var decoded RunMetrics
+	if err := json.Unmarshal(a, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.Scheme != "RW-LE_PES" || len(decoded.Points) != 1 {
+		t.Errorf("round trip lost data: %+v", decoded)
+	}
+	if decoded.Points[0].Breakdown.QuiesceWait != 50 {
+		t.Error("breakdown quiesce_wait_cycles not exported")
+	}
+}
+
+func TestWriteMatrixAndHistsRender(t *testing.T) {
+	c := NewCollector()
+	syntheticFeed(c)
+	p := c.Point(3, 20, 500, nil)
+	var buf bytes.Buffer
+	p.WriteMatrix(&buf)
+	out := buf.String()
+	for _, want := range []string{"ROT conflicts", "addr=64"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("matrix output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	p.WriteHists(&buf)
+	for _, want := range []string{"read/Uninstrumented", "write/ROT", "quiescence windows"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("hist output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// An empty point must render gracefully, not panic or divide by zero.
+	empty := NewCollector().Point(1, 0, 0, nil)
+	buf.Reset()
+	empty.WriteMatrix(&buf)
+	empty.WriteHists(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("no aborts recorded")) {
+		t.Error("empty matrix not reported")
+	}
+}
+
+func TestWriteChromeTraceValidAndBalanced(t *testing.T) {
+	events := []machine.Event{
+		{Kind: machine.EvCSBegin, Time: 100, CPU: 0, Aux: machine.PackCS(true, 0, 0)},
+		{Kind: machine.EvTxBegin, Time: 110, CPU: 0, Aux: 1},
+		{Kind: machine.EvTxDoom, Time: 150, CPU: 0, Addr: 64,
+			Aux: htm.PackAbortAux(stats.AbortROTConflict, 1)},
+		{Kind: machine.EvTxAbort, Time: 160, CPU: 0, Addr: 64,
+			Aux: htm.PackAbortAux(stats.AbortROTConflict, 1)},
+		{Kind: machine.EvTxBegin, Time: 170, CPU: 0, Aux: 1},
+		{Kind: machine.EvQuiesceStart, Time: 180, CPU: 0},
+		{Kind: machine.EvQuiesceEnd, Time: 230, CPU: 0, Aux: 50},
+		{Kind: machine.EvTxCommit, Time: 240, CPU: 0, Aux: 2},
+		{Kind: machine.EvCSEnd, Time: 250, CPU: 0, Aux: machine.PackCS(true, uint64(stats.CommitROT), 1)},
+		{Kind: machine.EvRead, Time: 105, CPU: 1, Addr: 8}, // must be skipped
+		{Kind: machine.EvPathSwitch, Time: 165, CPU: 0, Aux: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	begins, ends := 0, 0
+	for _, e := range out.TraceEvents {
+		switch e["ph"] {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Errorf("unbalanced slices: %d begins, %d ends\n%s", begins, ends, buf.String())
+	}
+	if begins != 4 { // cs, 2×tx, quiesce
+		t.Errorf("begins = %d, want 4", begins)
+	}
+	if len(out.TraceEvents) != 10 { // all input events minus the EvRead
+		t.Errorf("records = %d, want 10 (memory accesses must be skipped)", len(out.TraceEvents))
+	}
+}

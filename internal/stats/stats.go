@@ -95,6 +95,9 @@ type Breakdown struct {
 	Ops      int64
 	ReadCS   int64
 	WriteCS  int64
+	// QuiesceWait is the total cycles all threads spent draining readers
+	// in RWLE_SYNCHRONIZE (summed across threads, so it can exceed Cycles).
+	QuiesceWait int64
 }
 
 // Merge aggregates per-thread counters into a Breakdown.
@@ -105,6 +108,7 @@ func Merge(threads []*Thread, cycles int64) Breakdown {
 		b.Ops += t.Ops
 		b.ReadCS += t.ReadCS
 		b.WriteCS += t.WriteCS
+		b.QuiesceWait += t.QuiesceWait
 		for i := range t.Aborts {
 			b.Aborts[i] += t.Aborts[i]
 		}
@@ -160,6 +164,17 @@ func (b *Breakdown) CommitPct(p CommitPath) float64 {
 	return 100 * float64(b.Commits[p]) / float64(total)
 }
 
+// QuiescePct returns quiescence-wait cycles as a percentage of the total
+// CPU cycles available to the run (Threads × Cycles) — the share of machine
+// time burned draining readers.
+func (b *Breakdown) QuiescePct() float64 {
+	total := int64(b.Threads) * b.Cycles
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(b.QuiesceWait) / float64(total)
+}
+
 // AbortsHeader returns the column header for FormatAborts.
 func AbortsHeader() string {
 	cols := make([]string, NumAbortCauses)
@@ -178,11 +193,13 @@ func (b *Breakdown) FormatAborts() string {
 	return strings.Join(parts, " ")
 }
 
-// FormatCommits renders the commit breakdown as percentages.
+// FormatCommits renders the commit breakdown as percentages, with the
+// quiescence-wait share of machine time appended.
 func (b *Breakdown) FormatCommits() string {
-	parts := make([]string, NumCommitPaths)
+	parts := make([]string, NumCommitPaths, NumCommitPaths+1)
 	for i := 0; i < NumCommitPaths; i++ {
 		parts[i] = fmt.Sprintf("%s=%5.1f%%", commitNames[i], b.CommitPct(CommitPath(i)))
 	}
+	parts = append(parts, fmt.Sprintf("quiesce=%5.1f%%", b.QuiescePct()))
 	return strings.Join(parts, " ")
 }
