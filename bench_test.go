@@ -23,7 +23,7 @@ func benchPoint(b *testing.B, fig, scheme string, threads, writePct int, scale f
 	}
 	var last harness.Result
 	for i := 0; i < b.N; i++ {
-		last = spec.Point(scheme, threads, writePct, scale)
+		last = spec.Point(harness.PointCtx{}, scheme, threads, writePct, scale)
 	}
 	if last.B.Ops > 0 {
 		b.ReportMetric(float64(last.B.Ops)/machine.Seconds(last.Cycles)/1e6, "virtual-Mops/s")

@@ -1,7 +1,10 @@
 package hrwle
 
 import (
+	"bytes"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -42,6 +45,42 @@ func TestBenchCLIList(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("hrwle-bench -list missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestBenchCLIParallelIdentical sweeps the same tiny figure at -j 1 and
+// -j 8 through the real CLI and requires identical tables: the parallel
+// harness must never change virtual-time results.
+func TestBenchCLIParallelIdentical(t *testing.T) {
+	// Compare the -o files, not process output: stderr carries wall-clock
+	// chatter that legitimately differs between runs.
+	dir := t.TempDir()
+	serialPath := filepath.Join(dir, "serial.txt")
+	parallelPath := filepath.Join(dir, "parallel.txt")
+	args := []string{"-fig", "fig3", "-scale", "0.01", "-threads", "2,4", "-q"}
+	runGo(t, "./cmd/hrwle-bench", append([]string{"-j", "1", "-o", serialPath}, args...)...)
+	runGo(t, "./cmd/hrwle-bench", append([]string{"-j", "8", "-o", parallelPath}, args...)...)
+	serial, err := os.ReadFile(serialPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := os.ReadFile(parallelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("-j changed figure output\n--- -j1 ---\n%s\n--- -j8 ---\n%s", serial, parallel)
+	}
+}
+
+// TestTraceCLIMultiScheme traces two schemes in one invocation and checks
+// both reports arrive in the order given.
+func TestTraceCLIMultiScheme(t *testing.T) {
+	out := runGo(t, "./cmd/hrwle-trace", "-scheme", "RW-LE_OPT,SGL", "-q", "-ops", "5")
+	i := strings.Index(out, "scheme=RW-LE_OPT")
+	j := strings.Index(out, "scheme=SGL")
+	if i < 0 || j < 0 || j < i {
+		t.Errorf("multi-scheme trace reports missing or out of order:\n%s", out)
 	}
 }
 

@@ -5,13 +5,20 @@
 //
 //	hrwle-bench -list
 //	hrwle-bench -fig fig3 [-scale 0.25] [-o fig3.txt]
-//	hrwle-bench -fig all  [-scale 1]
+//	hrwle-bench -fig all  [-scale 1] [-j 8]
 //	hrwle-bench -fig fig5 -metrics-dir results/metrics   # + RunMetrics JSON
+//	hrwle-bench -bench results/BENCH_PR4.json [-bench-baseline results/BENCH_SEED.json]
 //
 // Each figure prints three panels matching the paper: execution time (or
 // throughput), the abort-cause breakdown, and the commit-path breakdown.
 // -scale multiplies the amount of work per point (1 = the default recorded
-// in EXPERIMENTS.md; smaller is faster and noisier).
+// in EXPERIMENTS.md; smaller is faster and noisier). -j runs that many
+// measurement points concurrently (each point is an independent simulated
+// machine; results are deterministic and ordered regardless of -j).
+//
+// -bench skips figure output and instead runs the fixed wall-clock
+// mini-sweep, writing a BenchReport JSON (sim cycles/sec, points/sec,
+// parallel speedup, HTM-path allocs/op) to the given file.
 package main
 
 import (
@@ -19,10 +26,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"hrwle/internal/harness"
-	"hrwle/internal/machine"
 )
 
 func main() {
@@ -34,8 +41,37 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress per-point progress")
 		threads    = flag.String("threads", "", "override thread counts, e.g. 2,8,32")
 		metricsDir = flag.String("metrics-dir", "", "collect obs telemetry and write one RunMetrics JSON per (figure, scheme) into this directory (e.g. results/metrics)")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "measurement points to run concurrently")
+		bench      = flag.String("bench", "", "run the fixed wall-clock mini-sweep and write a BenchReport JSON to this file")
+		benchBase  = flag.String("bench-baseline", "", "prior BenchReport JSON to compare against in -bench mode")
 	)
 	flag.Parse()
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	if *bench != "" {
+		rep, err := harness.RunBench(*jobs, *benchBase, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println(rep.Summary())
+		fmt.Printf("report written to %s\n", *bench)
+		return
+	}
 
 	figs := harness.Registry()
 	if *list || *fig == "" {
@@ -68,11 +104,7 @@ func main() {
 		ids = []string{*fig}
 	}
 
-	var progress io.Writer = os.Stderr
-	if *quiet {
-		progress = nil
-	}
-	counts := &machine.CountTracer{}
+	var totalEvents int64
 	for _, id := range ids {
 		spec := figs[id]
 		if *threads != "" {
@@ -82,19 +114,21 @@ func main() {
 		var results []harness.Result
 		if *metricsDir != "" {
 			var err error
-			results, err = harness.RunWithMetrics(spec, *scale, progress, *metricsDir, counts)
+			var events int64
+			results, events, err = harness.RunWithMetrics(spec, *scale, progress, *metricsDir, *jobs)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			totalEvents += events
 		} else {
-			results = spec.Run(*scale, progress)
+			results = spec.RunParallel(*scale, progress, *jobs)
 		}
 		harness.Print(w, spec, results)
 		fmt.Fprintf(os.Stderr, "%s done in %.1fs wall\n", id, time.Since(start).Seconds())
 	}
 	if *metricsDir != "" {
-		fmt.Fprintf(os.Stderr, "metrics JSON written to %s (%d events traced)\n", *metricsDir, counts.Total())
+		fmt.Fprintf(os.Stderr, "metrics JSON written to %s (%d events traced)\n", *metricsDir, totalEvents)
 	}
 }
 

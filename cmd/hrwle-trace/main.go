@@ -18,17 +18,26 @@
 //	-chrome FILE   write the complete event trace in Chrome trace_event
 //	               format (open in Perfetto or chrome://tracing)
 //
+// -scheme accepts a comma-separated list; each scheme runs on its own
+// simulated machine (concurrently, up to -j at a time) and the traces are
+// printed in the order given. -json and -chrome require a single scheme.
+//
 // Usage:
 //
-//	hrwle-trace [-scheme RW-LE_OPT] [-threads 4] [-ops 30] [-w 20] [-n 120]
-//	            [-seed 7] [-matrix] [-hist] [-json FILE] [-chrome FILE]
+//	hrwle-trace [-scheme RW-LE_OPT,SGL] [-threads 4] [-ops 30] [-w 20]
+//	            [-n 120] [-seed 7] [-j 4] [-matrix] [-hist]
+//	            [-json FILE] [-chrome FILE]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 
 	"hrwle/internal/harness"
 	"hrwle/internal/hashmap"
@@ -38,14 +47,23 @@ import (
 	"hrwle/internal/stats"
 )
 
+// traceOpts carries the per-run knobs shared by every scheme.
+type traceOpts struct {
+	threads, ops, writes, events int
+	seed                         uint64
+	matrix, hist, noEvents       bool
+	jsonOut, chrome              string
+}
+
 func main() {
 	var (
-		scheme   = flag.String("scheme", "RW-LE_OPT", "synchronization scheme (see hrwle-bench -list output)")
+		scheme   = flag.String("scheme", "RW-LE_OPT", "synchronization scheme, or a comma-separated list (see hrwle-bench -list output)")
 		threads  = flag.Int("threads", 4, "simulated hardware threads")
 		ops      = flag.Int("ops", 30, "operations per thread")
 		writes   = flag.Int("w", 20, "write percentage")
 		events   = flag.Int("n", 120, "max events to print")
 		seed     = flag.Uint64("seed", 7, "machine seed (identical seeds give identical runs)")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "schemes to trace concurrently")
 		matrix   = flag.Bool("matrix", false, "print the killer→victim abort-attribution matrix")
 		hist     = flag.Bool("hist", false, "print per-CS latency and quiescence histograms")
 		jsonOut  = flag.String("json", "", "write point metrics JSON to this file ('-' for stdout)")
@@ -54,29 +72,92 @@ func main() {
 	)
 	flag.Parse()
 
-	m := machine.New(machine.Config{CPUs: *threads, MemWords: 1 << 20, Seed: *seed})
+	var schemes []string
+	for _, s := range strings.Split(*scheme, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			schemes = append(schemes, s)
+		}
+	}
+	if len(schemes) == 0 {
+		fatal(fmt.Errorf("no scheme given"))
+	}
+	if len(schemes) > 1 && (*jsonOut != "" || *chrome != "") {
+		fatal(fmt.Errorf("-json and -chrome require a single -scheme, got %d", len(schemes)))
+	}
+
+	opts := traceOpts{
+		threads: *threads, ops: *ops, writes: *writes, events: *events,
+		seed: *seed, matrix: *matrix, hist: *hist, noEvents: *noEvents,
+		jsonOut: *jsonOut, chrome: *chrome,
+	}
+
+	// Each scheme traces an independent machine; buffer the reports and
+	// print them in the order the schemes were given, regardless of which
+	// finishes first.
+	bufs := make([]bytes.Buffer, len(schemes))
+	errs := make([]error, len(schemes))
+	workers := *jobs
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(schemes) {
+		workers = len(schemes)
+	}
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				errs[i] = traceScheme(&bufs[i], schemes[i], opts)
+			}
+		}()
+	}
+	for i := range schemes {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	for i := range schemes {
+		if i > 0 {
+			fmt.Println(strings.Repeat("=", 72))
+		}
+		os.Stdout.Write(bufs[i].Bytes())
+		if errs[i] != nil {
+			fatal(errs[i])
+		}
+	}
+}
+
+// traceScheme runs the scenario under one scheme, writing the full report
+// to w. Side-effecting outputs (-json, -chrome files) only occur in
+// single-scheme mode, guarded in main.
+func traceScheme(w io.Writer, scheme string, o traceOpts) error {
+	m := machine.New(machine.Config{CPUs: o.threads, MemWords: 1 << 20, Seed: o.seed})
 	sys := htm.NewSystem(m, htm.Config{})
-	lock := harness.SchemeFactory(*scheme)(sys)
+	lock := harness.SchemeFactory(scheme)(sys)
 	h := hashmap.New(m, 4)
 	h.Populate(50)
 
-	ring := machine.NewRingTracer(*events)
+	ring := machine.NewRingTracer(o.events)
 	counts := &machine.CountTracer{}
 	collector := obs.NewCollector()
 	tracers := machine.MultiTracer{ring, counts, collector}
 	var log *machine.LogTracer
-	if *chrome != "" {
+	if o.chrome != "" {
 		log = &machine.LogTracer{}
 		tracers = append(tracers, log)
 	}
 	m.SetTracer(tracers)
 
-	cycles := m.Run(*threads, func(c *machine.CPU) {
+	cycles := m.Run(o.threads, func(c *machine.CPU) {
 		th := sys.Thread(c.ID)
 		var spare machine.Addr
-		for i := 0; i < *ops; i++ {
+		for i := 0; i < o.ops; i++ {
 			key := uint64(c.Intn(200))
-			if c.Intn(100) < *writes {
+			if c.Intn(100) < o.writes {
 				if spare == 0 {
 					spare = h.PrepareNode(th)
 				}
@@ -91,48 +172,49 @@ func main() {
 		}
 	})
 
-	fmt.Printf("scheme=%s threads=%d ops/thread=%d w=%d%% seed=%d  →  %d virtual cycles\n\n",
-		lock.Name(), *threads, *ops, *writes, *seed, cycles)
-	if !*noEvents {
-		fmt.Printf("%12s %4s %-14s %s\n", "CYCLE", "CPU", "EVENT", "DETAIL")
+	fmt.Fprintf(w, "scheme=%s threads=%d ops/thread=%d w=%d%% seed=%d  →  %d virtual cycles\n\n",
+		lock.Name(), o.threads, o.ops, o.writes, o.seed, cycles)
+	if !o.noEvents {
+		fmt.Fprintf(w, "%12s %4s %-14s %s\n", "CYCLE", "CPU", "EVENT", "DETAIL")
 		for _, e := range ring.Events() {
-			fmt.Printf("%12d %4d %-14s %s\n", e.Time, e.CPU, e.Kind, detail(e))
+			fmt.Fprintf(w, "%12d %4d %-14s %s\n", e.Time, e.CPU, e.Kind, detail(e))
 		}
 
-		fmt.Println("\nevent totals:")
+		fmt.Fprintln(w, "\nevent totals:")
 		for k, n := range counts.Counts {
 			if n > 0 {
-				fmt.Printf("  %-14s %8d\n", machine.EventKind(k), n)
+				fmt.Fprintf(w, "  %-14s %8d\n", machine.EventKind(k), n)
 			}
 		}
 	}
-	b := stats.Merge(sys.Stats(*threads), cycles)
-	fmt.Printf("\naborts: %.1f%% of %d attempts   commits: %s\n",
+	b := stats.Merge(sys.Stats(o.threads), cycles)
+	fmt.Fprintf(w, "\naborts: %.1f%% of %d attempts   commits: %s\n",
 		b.AbortRate(), b.TxStarts, b.FormatCommits())
 
-	point := collector.Point(*threads, *writes, cycles, &b)
-	if *matrix {
-		fmt.Println()
-		point.WriteMatrix(os.Stdout)
+	point := collector.Point(o.threads, o.writes, cycles, &b)
+	if o.matrix {
+		fmt.Fprintln(w)
+		point.WriteMatrix(w)
 	}
-	if *hist {
-		fmt.Println()
-		point.WriteHists(os.Stdout)
+	if o.hist {
+		fmt.Fprintln(w)
+		point.WriteHists(w)
 	}
-	if *jsonOut != "" {
+	if o.jsonOut != "" {
 		rm := &obs.RunMetrics{Figure: "trace", Scheme: lock.Name(), Points: []*obs.PointMetrics{point}}
-		if err := writeTo(*jsonOut, rm.WriteJSON); err != nil {
-			fatal(err)
+		if err := writeTo(o.jsonOut, rm.WriteJSON); err != nil {
+			return err
 		}
 	}
-	if *chrome != "" {
-		err := writeTo(*chrome, func(w io.Writer) error { return obs.WriteChromeTrace(w, log.Events) })
+	if o.chrome != "" {
+		err := writeTo(o.chrome, func(w io.Writer) error { return obs.WriteChromeTrace(w, log.Events) })
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "chrome trace: %d events → %s (open in Perfetto or chrome://tracing)\n",
-			len(log.Events), *chrome)
+			len(log.Events), o.chrome)
 	}
+	return nil
 }
 
 // writeTo writes via fn to path, with "-" meaning stdout.

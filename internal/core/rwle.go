@@ -118,6 +118,10 @@ type RWLE struct {
 	// write) sections nest, per the paper's footnote 3. Host-side state,
 	// mutated only by the owning (token-holding) thread.
 	nesting []nestState
+	// snaps[i] is thread i's reusable quiescence-scan snapshot buffer;
+	// preallocating it keeps synchronize allocation-free on the writer
+	// fast path. Host-side, owned by the token-holding thread like nesting.
+	snaps [][]uint64
 	// adapt, when Options.Adaptive is set, tunes the HTM budget.
 	adapt *adaptiveController
 }
@@ -152,6 +156,11 @@ func New(sys *htm.System, opts Options) *RWLE {
 		l.local = m.AllocRawAligned(int64(l.nthreads) * m.Cfg.LineWords)
 	}
 	l.nesting = make([]nestState, l.nthreads)
+	l.snaps = make([][]uint64, l.nthreads)
+	snapBacking := make([]uint64, l.nthreads*l.nthreads)
+	for i := range l.snaps {
+		l.snaps[i] = snapBacking[i*l.nthreads : (i+1)*l.nthreads]
+	}
 	if opts.Adaptive {
 		l.adapt = newAdaptiveController()
 	}
@@ -481,7 +490,7 @@ func (l *RWLE) synchronize(t *htm.Thread, singlePass bool, myVer uint64) {
 			l.waitReader(t, i, myVer)
 		}
 	} else {
-		snap := make([]uint64, l.nthreads)
+		snap := l.snaps[t.C.ID]
 		for i := 0; i < l.nthreads; i++ {
 			snap[i] = t.LoadStream(l.clockAddr(i))
 		}

@@ -43,13 +43,13 @@ func extensionFigure(id, title string, schemes []string, buckets, items int64, w
 		WritePcts: wpcts,
 		TimeLabel: "execution time (s)",
 	}
-	f.Point = func(scheme string, threads, writePct int, scale float64) Result {
+	f.Point = func(ctx PointCtx, scheme string, threads, writePct int, scale float64) Result {
 		p := HashmapParams{
 			Buckets: buckets, Items: items, WritePct: writePct,
 			Threads: threads, TotalOps: int(float64(baseOps) * scale),
 			Seed: uint64(20000 + threads*13 + writePct),
 		}
-		return RunHashmap(p, extSchemeFactory(scheme))
+		return RunHashmap(ctx, p, extSchemeFactory(scheme))
 	}
 	return f
 }

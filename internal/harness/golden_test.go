@@ -97,7 +97,7 @@ func TestRunWithMetricsMatchesPlainRun(t *testing.T) {
 	plain := spec.Run(0.02, nil)
 
 	export := func(dir string) []Result {
-		results, err := RunWithMetrics(spec, 0.02, nil, dir)
+		results, _, err := RunWithMetrics(spec, 0.02, nil, dir, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

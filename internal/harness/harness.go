@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"hrwle/internal/core"
 	"hrwle/internal/htm"
@@ -79,8 +80,32 @@ func SchemeFactory(name string) rwlock.Factory {
 	panic("harness: unknown scheme " + name)
 }
 
+// PointCtx carries per-point harness context into a measurement point.
+// Each point builds its own machine, so points are independent and a sweep
+// may run many of them concurrently; anything a point needs from the
+// harness must travel through its ctx rather than package-level state.
+type PointCtx struct {
+	// Observe, if non-nil, receives every machine the point constructs,
+	// right after machine.New and before the run starts. The metrics
+	// exporter uses it to install one obs.Collector per point.
+	Observe func(*machine.Machine)
+}
+
+// observe notifies the per-point observer, falling back to the package
+// global installed with SetMachineObserver (used by tests and ad-hoc
+// tracing, which run sweeps serially).
+func (ctx PointCtx) observe(m *machine.Machine) {
+	if ctx.Observe != nil {
+		ctx.Observe(m)
+		return
+	}
+	if machineObserver != nil {
+		machineObserver(m)
+	}
+}
+
 // PointFunc produces one measurement point for a figure.
-type PointFunc func(scheme string, threads, writePct int, scale float64) Result
+type PointFunc func(ctx PointCtx, scheme string, threads, writePct int, scale float64) Result
 
 // FigureSpec describes one paper figure (or ablation) to regenerate.
 type FigureSpec struct {
@@ -95,44 +120,140 @@ type FigureSpec struct {
 	Point     PointFunc
 }
 
-// Run sweeps the whole figure and returns all points in a deterministic
-// order. progress, if non-nil, receives one line per completed point.
+// Run sweeps the whole figure serially and returns all points in a
+// deterministic order. progress, if non-nil, receives one line per
+// completed point.
 func (f *FigureSpec) Run(scale float64, progress io.Writer) []Result {
-	return f.runPoints(scale, progress, nil)
+	return f.runPoints(scale, progress, 1, nil)
 }
 
-// runPoints is the shared sweep loop behind Run and RunWithMetrics.
-// onPoint, if non-nil, is called with each completed point in order.
-func (f *FigureSpec) runPoints(scale float64, progress io.Writer, onPoint func(Result)) []Result {
-	var out []Result
+// RunParallel sweeps the figure on a bounded pool of workers goroutines
+// (workers <= 1 means serial). Every point builds its own machine, so
+// points are independent; the returned slice is in the same deterministic
+// order as Run and contains bit-identical Results — only wall-clock time
+// changes. Progress lines are emitted as points complete, so their order
+// varies under parallelism.
+func (f *FigureSpec) RunParallel(scale float64, progress io.Writer, workers int) []Result {
+	return f.runPoints(scale, progress, workers, nil)
+}
+
+// pointJob identifies one measurement point of a sweep: its coordinates
+// plus its index in the deterministic result order.
+type pointJob struct {
+	idx      int
+	scheme   string
+	threads  int
+	writePct int
+}
+
+// jobs enumerates the sweep's points in deterministic order.
+func (f *FigureSpec) jobs() []pointJob {
+	out := make([]pointJob, 0, f.NumPoints())
 	for _, w := range f.WritePcts {
 		for _, n := range f.Threads {
 			for _, s := range f.Schemes {
-				r := f.Point(s, n, w, scale)
-				r.Figure = f.ID
-				r.Scheme = s
-				r.Threads = n
-				r.WritePct = w
-				out = append(out, r)
-				if onPoint != nil {
-					onPoint(r)
-				}
-				if progress != nil {
-					fmt.Fprintf(progress, "  %s w=%d%% n=%d %-12s %.4fs aborts=%4.1f%% ops=%d\n",
-						f.ID, w, n, s, r.Seconds(), r.B.AbortRate(), r.B.Ops)
-				}
+				out = append(out, pointJob{idx: len(out), scheme: s, threads: n, writePct: w})
 			}
 		}
 	}
 	return out
 }
 
+// NumPoints returns the number of measurement points in the sweep.
+func (f *FigureSpec) NumPoints() int {
+	return len(f.Schemes) * len(f.Threads) * len(f.WritePcts)
+}
+
+// runPoints is the shared sweep loop behind Run, RunParallel and
+// RunWithMetrics. mkCtx, if non-nil, supplies the PointCtx for each point
+// index (RunWithMetrics uses it to give every point its own collector
+// slot, keeping the sweep race-free under parallelism).
+func (f *FigureSpec) runPoints(scale float64, progress io.Writer, workers int, mkCtx func(int) PointCtx) []Result {
+	jobs := f.jobs()
+	out := make([]Result, len(jobs))
+	var progressMu sync.Mutex
+	runJob := func(j pointJob) {
+		var ctx PointCtx
+		if mkCtx != nil {
+			ctx = mkCtx(j.idx)
+		}
+		r := f.Point(ctx, j.scheme, j.threads, j.writePct, scale)
+		r.Figure = f.ID
+		r.Scheme = j.scheme
+		r.Threads = j.threads
+		r.WritePct = j.writePct
+		out[j.idx] = r
+		if progress != nil {
+			progressMu.Lock()
+			fmt.Fprintf(progress, "  %s w=%d%% n=%d %-12s %.4fs aborts=%4.1f%% ops=%d\n",
+				f.ID, j.writePct, j.threads, j.scheme, r.Seconds(), r.B.AbortRate(), r.B.Ops)
+			progressMu.Unlock()
+		}
+	}
+
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			runJob(j)
+		}
+		return out
+	}
+
+	// A point that panics (e.g. a simulation hitting its virtual deadline)
+	// must not crash the process from a worker goroutine: capture the first
+	// panic and re-raise it on the caller after the pool drains.
+	var (
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	ch := make(chan pointJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicVal == nil {
+								panicVal = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					runJob(j)
+				}()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return out
+}
+
+// pointKey indexes a figure's results by sweep coordinates.
+type pointKey struct {
+	writePct int
+	threads  int
+	scheme   string
+}
+
 // Print renders the figure's three panels as text tables.
 func Print(w io.Writer, f *FigureSpec, results []Result) {
 	fmt.Fprintf(w, "# %s — %s\n", f.ID, f.Title)
-	byKey := map[[3]interface{}]Result{}
+	byKey := map[pointKey]Result{}
 	for _, r := range results {
-		byKey[[3]interface{}{r.WritePct, r.Threads, r.Scheme}] = r
+		byKey[pointKey{r.WritePct, r.Threads, r.Scheme}] = r
 	}
 
 	fmt.Fprintf(w, "\n## %s\n", f.TimeLabel)
@@ -145,7 +266,7 @@ func Print(w io.Writer, f *FigureSpec, results []Result) {
 		for _, n := range f.Threads {
 			fmt.Fprintf(w, "%4d %7d", wp, n)
 			for _, s := range f.Schemes {
-				r := byKey[[3]interface{}{wp, n, s}]
+				r := byKey[pointKey{wp, n, s}]
 				fmt.Fprintf(w, " %12.5f", panelValue(f, r))
 			}
 			fmt.Fprintln(w)
@@ -159,7 +280,7 @@ func Print(w io.Writer, f *FigureSpec, results []Result) {
 				continue
 			}
 			for _, n := range f.Threads {
-				r := byKey[[3]interface{}{wp, n, s}]
+				r := byKey[pointKey{wp, n, s}]
 				fmt.Fprintf(w, "w=%-3d n=%-3d %-12s total=%5.1f%%  %s\n", wp, n, s, r.B.AbortRate(), r.B.FormatAborts())
 			}
 		}
@@ -169,7 +290,7 @@ func Print(w io.Writer, f *FigureSpec, results []Result) {
 	for _, wp := range f.WritePcts {
 		for _, s := range f.Schemes {
 			for _, n := range f.Threads {
-				r := byKey[[3]interface{}{wp, n, s}]
+				r := byKey[pointKey{wp, n, s}]
 				fmt.Fprintf(w, "w=%-3d n=%-3d %-12s %s\n", wp, n, s, r.B.FormatCommits())
 			}
 		}

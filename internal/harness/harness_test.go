@@ -39,7 +39,7 @@ func TestEveryFigurePointRuns(t *testing.T) {
 	for _, id := range SortedIDs(figs) {
 		f := figs[id]
 		for _, scheme := range f.Schemes {
-			r := f.Point(scheme, 2, f.WritePcts[0], 0.01)
+			r := f.Point(PointCtx{}, scheme, 2, f.WritePcts[0], 0.01)
 			if r.Cycles <= 0 {
 				t.Errorf("%s/%s: no virtual time elapsed", id, scheme)
 			}
@@ -52,8 +52,8 @@ func TestEveryFigurePointRuns(t *testing.T) {
 
 func TestPointDeterminism(t *testing.T) {
 	f := Registry()["fig3"]
-	a := f.Point("RW-LE_OPT", 4, 10, 0.02)
-	b := f.Point("RW-LE_OPT", 4, 10, 0.02)
+	a := f.Point(PointCtx{}, "RW-LE_OPT", 4, 10, 0.02)
+	b := f.Point(PointCtx{}, "RW-LE_OPT", 4, 10, 0.02)
 	if a.Cycles != b.Cycles || a.B != b.B {
 		t.Errorf("same point differs across runs: %d vs %d cycles", a.Cycles, b.Cycles)
 	}
@@ -83,8 +83,8 @@ func TestRWLEBeatsHLEOnCapacityWorkload(t *testing.T) {
 	// The paper's headline claim at one representative point: fig. 3
 	// (high capacity, high contention), read-dominated, 8 threads.
 	f := Registry()["fig3"]
-	rwle := f.Point("RW-LE_OPT", 8, 10, 0.1)
-	hle := f.Point("HLE", 8, 10, 0.1)
+	rwle := f.Point(PointCtx{}, "RW-LE_OPT", 8, 10, 0.1)
+	hle := f.Point(PointCtx{}, "HLE", 8, 10, 0.1)
 	if rwle.Cycles >= hle.Cycles {
 		t.Errorf("RW-LE (%d cycles) not faster than HLE (%d cycles) on the capacity workload", rwle.Cycles, hle.Cycles)
 	}

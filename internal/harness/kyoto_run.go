@@ -26,14 +26,14 @@ func kyotoScheme(name string) (rwlock.Factory, kyoto.InnerPolicy) {
 }
 
 // RunKyoto measures one Fig. 9 point of the wicked workload.
-func RunKyoto(threads, writePct, totalOps int, seed uint64, scheme string) Result {
+func RunKyoto(ctx PointCtx, threads, writePct, totalOps int, seed uint64, scheme string) Result {
 	cfg := kyoto.DefaultConfig()
 	m := machine.New(machine.Config{
 		CPUs:     threads,
 		MemWords: cfg.MemWords(),
 		Seed:     seed,
 	})
-	observeMachine(m)
+	ctx.observe(m)
 	sys := htm.NewSystem(m, htm.Config{})
 	mk, pol := kyotoScheme(scheme)
 	lock := mk(sys)
@@ -63,8 +63,8 @@ func kyotoFigure() *FigureSpec {
 		WritePcts: []int{1, 5, 10},
 		TimeLabel: "throughput (ops/s)",
 	}
-	f.Point = func(scheme string, threads, writePct int, scale float64) Result {
-		return RunKyoto(threads, writePct, int(6000*scale),
+	f.Point = func(ctx PointCtx, scheme string, threads, writePct int, scale float64) Result {
+		return RunKyoto(ctx, threads, writePct, int(6000*scale),
 			uint64(12000+threads*13+writePct), scheme)
 	}
 	return f

@@ -13,54 +13,56 @@ import (
 )
 
 // machineObserver, when non-nil, is invoked by every workload runner right
-// after it constructs its simulated machine and before the run starts. The
-// metrics exporter uses it to install an obs.Collector per measurement
-// point; tests use it to install ad-hoc tracers. Figure sweeps run points
-// strictly sequentially, so a single package-level slot suffices.
+// after it constructs its simulated machine and before the run starts —
+// unless the point's PointCtx carries its own Observe hook, which takes
+// precedence. Tests and ad-hoc tracing use this package-level slot with
+// strictly serial sweeps; parallel sweeps must use PointCtx.Observe.
 var machineObserver func(*machine.Machine)
 
-// SetMachineObserver installs (or, with nil, removes) the hook called for
-// every machine a workload runner builds.
+// SetMachineObserver installs (or, with nil, removes) the fallback hook
+// called for every machine a workload runner builds.
 func SetMachineObserver(fn func(*machine.Machine)) { machineObserver = fn }
 
-// observeMachine is called by every runner after machine.New.
-func observeMachine(m *machine.Machine) {
-	if machineObserver != nil {
-		machineObserver(m)
+// RunWithMetrics sweeps figure f like FigureSpec.RunParallel while
+// collecting obs telemetry for every point, then writes one RunMetrics
+// JSON per scheme to dir as <figure>-<scheme>.json. It returns the sweep
+// results plus the total number of events traced. The files are
+// deterministic regardless of workers: identical seeds produce
+// byte-identical JSON.
+func RunWithMetrics(f *FigureSpec, scale float64, progress io.Writer, dir string, workers int) ([]Result, int64, error) {
+	// One collector slot per point: a point may build more than one machine
+	// (e.g. fig10's lazily computed baseline) and only the last one built is
+	// the measured run, matching the serial exporter's semantics. Slots are
+	// written by worker goroutines and read only after the pool drains (the
+	// WaitGroup inside runPoints provides the happens-before edge).
+	collectors := make([]*obs.Collector, f.NumPoints())
+	mkCtx := func(idx int) PointCtx {
+		return PointCtx{Observe: func(m *machine.Machine) {
+			c := obs.NewCollector()
+			collectors[idx] = c
+			m.SetTracer(machine.MultiTracer{c})
+		}}
 	}
-}
+	results := f.runPoints(scale, progress, workers, mkCtx)
 
-// RunWithMetrics sweeps figure f like FigureSpec.Run while collecting obs
-// telemetry for every point, then writes one RunMetrics JSON per scheme to
-// dir as <figure>-<scheme>.json. extra tracers, if any, observe every
-// point's events too (fanned out through machine.MultiTracer). The files
-// are deterministic: identical seeds produce byte-identical JSON.
-func RunWithMetrics(f *FigureSpec, scale float64, progress io.Writer, dir string, extra ...machine.Tracer) ([]Result, error) {
-	var current *obs.Collector
-	SetMachineObserver(func(m *machine.Machine) {
-		current = obs.NewCollector()
-		ts := machine.MultiTracer{current}
-		ts = append(ts, extra...)
-		m.SetTracer(ts)
-	})
-	defer SetMachineObserver(nil)
-
+	var totalEvents int64
 	byScheme := map[string]*obs.RunMetrics{}
-	results := f.runPoints(scale, progress, func(r Result) {
-		if current == nil {
-			return // the point's runner does not support observation
+	for i, r := range results {
+		c := collectors[i]
+		if c == nil {
+			continue // the point's runner does not support observation
 		}
+		totalEvents += c.TotalEvents()
 		rm := byScheme[r.Scheme]
 		if rm == nil {
 			rm = &obs.RunMetrics{Figure: f.ID, Scheme: r.Scheme}
 			byScheme[r.Scheme] = rm
 		}
-		rm.Points = append(rm.Points, current.Point(r.Threads, r.WritePct, r.Cycles, &r.B))
-		current = nil
-	})
+		rm.Points = append(rm.Points, c.Point(r.Threads, r.WritePct, r.Cycles, &r.B))
+	}
 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return results, err
+		return results, totalEvents, err
 	}
 	schemes := make([]string, 0, len(byScheme))
 	for s := range byScheme {
@@ -71,17 +73,17 @@ func RunWithMetrics(f *FigureSpec, scale float64, progress io.Writer, dir string
 		path := filepath.Join(dir, MetricsFileName(f.ID, s))
 		w, err := os.Create(path)
 		if err != nil {
-			return results, err
+			return results, totalEvents, err
 		}
 		err = byScheme[s].WriteJSON(w)
 		if cerr := w.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			return results, fmt.Errorf("writing %s: %w", path, err)
+			return results, totalEvents, fmt.Errorf("writing %s: %w", path, err)
 		}
 	}
-	return results, nil
+	return results, totalEvents, nil
 }
 
 // MetricsFileName returns the metrics file name for one (figure, scheme)

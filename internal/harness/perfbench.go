@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+// BenchScale is the work multiplier of the fixed perf mini-sweep.
+const BenchScale = 0.25
+
+// BenchSpec returns the fixed mini-sweep the wall-clock benchmark runs: a
+// slice of the Figure 5 configuration (low capacity, high contention —
+// the simulator's hottest conflict-detection and quiescence paths) small
+// enough for CI but large enough to exercise every scheme family. The
+// sweep definition must stay stable across PRs so the recorded numbers in
+// results/BENCH_*.json remain comparable.
+func BenchSpec() *FigureSpec {
+	spec := *Registry()["fig5"]
+	spec.Schemes = []string{"RW-LE_OPT", "RW-LE_PES", "HLE", "SGL"}
+	spec.Threads = []int{2, 4, 8}
+	spec.WritePcts = []int{10, 90}
+	return &spec
+}
+
+// BenchAllocs reports host allocations per simulated HTM operation,
+// measured with testing.AllocsPerRun. The transactions run in the
+// machine's fast (Setup) mode so the numbers isolate the HTM layer itself
+// — no goroutine handoffs, no timing model.
+type BenchAllocs struct {
+	HTMCommit float64 `json:"htm_commit"`
+	HTMAbort  float64 `json:"htm_abort"`
+}
+
+// BenchReport is the wall-clock benchmark result written to
+// results/BENCH_PR<n>.json. Simulated-cycle figures are deterministic;
+// wall-clock figures depend on the host.
+type BenchReport struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Figure    string  `json:"figure"`
+	Schemes   []string `json:"schemes"`
+	Threads   []int   `json:"threads"`
+	WritePcts []int   `json:"write_pcts"`
+	Scale     float64 `json:"scale"`
+	Points    int     `json:"points"`
+
+	SimCycles int64 `json:"sim_cycles"`
+
+	SerialWallSec   float64 `json:"serial_wall_sec"`
+	ParallelWallSec float64 `json:"parallel_wall_sec"`
+	Workers         int     `json:"workers"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+
+	SimCyclesPerSecSerial   float64 `json:"sim_cycles_per_sec_serial"`
+	SimCyclesPerSecParallel float64 `json:"sim_cycles_per_sec_parallel"`
+	PointsPerSecSerial      float64 `json:"points_per_sec_serial"`
+	PointsPerSecParallel    float64 `json:"points_per_sec_parallel"`
+
+	AllocsPerOp BenchAllocs `json:"allocs_per_op"`
+
+	// Baseline comparison, present when a baseline file was supplied.
+	BaselineFile            string  `json:"baseline_file,omitempty"`
+	SerialSpeedupVsBaseline float64 `json:"serial_speedup_vs_baseline,omitempty"`
+	TotalSpeedupVsBaseline  float64 `json:"total_speedup_vs_baseline,omitempty"`
+}
+
+// RunBench runs the fixed mini-sweep serially and on a workers-wide pool
+// (best of three each), measures HTM-path allocations, and returns the
+// report. baselinePath, if non-empty and readable, is a previous
+// BenchReport to compare against (e.g. results/BENCH_SEED.json, recorded
+// on the pre-optimization simulator). progress, if non-nil, receives
+// human-readable status lines.
+func RunBench(workers int, baselinePath string, progress io.Writer) (*BenchReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	spec := BenchSpec()
+	logf := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format, args...)
+		}
+	}
+
+	measure := func(w int) (float64, []Result) {
+		best := -1.0
+		var res []Result
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			r := spec.RunParallel(BenchScale, nil, w)
+			sec := time.Since(start).Seconds()
+			if best < 0 || sec < best {
+				best, res = sec, r
+			}
+		}
+		return best, res
+	}
+
+	logf("bench: %d-point %s mini-sweep, serial (best of 3)...\n", spec.NumPoints(), spec.ID)
+	serialSec, serialRes := measure(1)
+	logf("bench: same sweep on %d workers (best of 3)...\n", workers)
+	parallelSec, parallelRes := measure(workers)
+
+	var cycles int64
+	for i, r := range serialRes {
+		cycles += r.Cycles
+		if parallelRes[i] != r {
+			return nil, fmt.Errorf("bench: parallel sweep diverged from serial at point %d: %+v vs %+v",
+				i, parallelRes[i], r)
+		}
+	}
+
+	rep := &BenchReport{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+
+		Figure:    spec.ID,
+		Schemes:   spec.Schemes,
+		Threads:   spec.Threads,
+		WritePcts: spec.WritePcts,
+		Scale:     BenchScale,
+		Points:    spec.NumPoints(),
+
+		SimCycles: cycles,
+
+		SerialWallSec:   serialSec,
+		ParallelWallSec: parallelSec,
+		Workers:         workers,
+		ParallelSpeedup: serialSec / parallelSec,
+
+		SimCyclesPerSecSerial:   float64(cycles) / serialSec,
+		SimCyclesPerSecParallel: float64(cycles) / parallelSec,
+		PointsPerSecSerial:      float64(spec.NumPoints()) / serialSec,
+		PointsPerSecParallel:    float64(spec.NumPoints()) / parallelSec,
+
+		AllocsPerOp: measureHTMAllocs(),
+	}
+
+	if baselinePath != "" {
+		base, err := loadBenchReport(baselinePath)
+		if err != nil {
+			logf("bench: no baseline comparison (%v)\n", err)
+		} else {
+			rep.BaselineFile = baselinePath
+			rep.SerialSpeedupVsBaseline = base.SerialWallSec / rep.SerialWallSec
+			rep.TotalSpeedupVsBaseline = base.SerialWallSec / rep.ParallelWallSec
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented, key-stable JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary returns a short human-readable digest of the report.
+func (r *BenchReport) Summary() string {
+	s := fmt.Sprintf("bench: %d points, %.0f Mcycles simulated\n"+
+		"  serial:   %.3fs wall  (%.1f Mcycles/s, %.1f points/s)\n"+
+		"  parallel: %.3fs wall  (-j %d, %.2fx)\n"+
+		"  allocs/op: htm commit %.2f, htm abort %.2f",
+		r.Points, float64(r.SimCycles)/1e6,
+		r.SerialWallSec, r.SimCyclesPerSecSerial/1e6, r.PointsPerSecSerial,
+		r.ParallelWallSec, r.Workers, r.ParallelSpeedup,
+		r.AllocsPerOp.HTMCommit, r.AllocsPerOp.HTMAbort)
+	if r.BaselineFile != "" {
+		s += fmt.Sprintf("\n  vs %s: serial %.2fx, serial-baseline-to-parallel %.2fx",
+			r.BaselineFile, r.SerialSpeedupVsBaseline, r.TotalSpeedupVsBaseline)
+	}
+	return s
+}
+
+func loadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.SerialWallSec <= 0 {
+		return nil, fmt.Errorf("%s: no serial_wall_sec recorded", path)
+	}
+	return &rep, nil
+}
+
+// measureHTMAllocs measures host allocations per committed and per aborted
+// transaction. Transactions run in Setup (fast) mode on a prebuilt
+// machine, so the measurement isolates the HTM layer: write-set buffering,
+// conflict-directory registration, commit publication, rollback and the
+// abort unwind. Both paths must report 0 on a healthy simulator.
+func measureHTMAllocs() BenchAllocs {
+	m := machine.New(machine.Config{CPUs: 1, MemWords: 1 << 16})
+	sys := htm.NewSystem(m, htm.Config{})
+	th := sys.Thread(0)
+	var base machine.Addr
+	m.Setup(func(c *machine.CPU) { base = c.AllocAligned(64) })
+
+	commit := func() {
+		m.Setup(func(c *machine.CPU) {
+			th.Try(false, func() {
+				for i := 0; i < 8; i++ {
+					a := base + machine.Addr(i)
+					th.Store(a, th.Load(a)+1)
+				}
+			})
+		})
+	}
+	abort := func() {
+		m.Setup(func(c *machine.CPU) {
+			th.Try(false, func() {
+				th.Store(base, 1)
+				th.Abort(stats.AbortExplicit)
+			})
+		})
+	}
+	// Warm up so one-time growth (write-set tables, stat lazily touched
+	// paths) is excluded from the steady-state figure.
+	commit()
+	abort()
+	return BenchAllocs{
+		HTMCommit: testing.AllocsPerRun(200, commit),
+		HTMAbort:  testing.AllocsPerRun(200, abort),
+	}
+}

@@ -11,14 +11,14 @@ import (
 // workload, for comparison against lock-based schemes running the
 // unmodified hashmap (the paper's §2 point: RCU is the performance
 // yardstick that demands per-structure surgery; RW-LE chases it with none).
-func RunRCUHashmap(p HashmapParams) Result {
+func RunRCUHashmap(ctx PointCtx, p HashmapParams) Result {
 	m := machine.New(machine.Config{
 		CPUs:     p.Threads,
 		MemWords: p.memWords(),
 		Seed:     p.Seed,
 		Paging:   p.Paging,
 	})
-	observeMachine(m)
+	ctx.observe(m)
 	sys := htm.NewSystem(m, p.HTM)
 	d := rcu.NewDomain(m)
 	h := rcu.NewMap(m, d, p.Buckets)
@@ -57,16 +57,16 @@ func rcuFigure() *FigureSpec {
 		WritePcts: []int{1, 10, 50},
 		TimeLabel: "execution time (s)",
 	}
-	f.Point = func(scheme string, threads, writePct int, scale float64) Result {
+	f.Point = func(ctx PointCtx, scheme string, threads, writePct int, scale float64) Result {
 		p := HashmapParams{
 			Buckets: lowContentionBuckets, Items: 50, WritePct: writePct,
 			Threads: threads, TotalOps: int(16000 * scale),
 			Seed: uint64(23000 + threads*13 + writePct),
 		}
 		if scheme == "RCU" {
-			return RunRCUHashmap(p)
+			return RunRCUHashmap(ctx, p)
 		}
-		return RunHashmap(p, SchemeFactory(scheme))
+		return RunHashmap(ctx, p, SchemeFactory(scheme))
 	}
 	return f
 }

@@ -30,14 +30,14 @@ func (p *HashmapParams) memWords() int64 {
 }
 
 // RunHashmap measures one sensitivity point under the given scheme.
-func RunHashmap(p HashmapParams, mk rwlock.Factory) Result {
+func RunHashmap(ctx PointCtx, p HashmapParams, mk rwlock.Factory) Result {
 	m := machine.New(machine.Config{
 		CPUs:     p.Threads,
 		MemWords: p.memWords(),
 		Seed:     p.Seed,
 		Paging:   p.Paging,
 	})
-	observeMachine(m)
+	ctx.observe(m)
 	sys := htm.NewSystem(m, p.HTM)
 	lock := mk(sys)
 	h := hashmap.New(m, p.Buckets)
@@ -50,9 +50,18 @@ func RunHashmap(p HashmapParams, mk rwlock.Factory) Result {
 	}
 	cycles := m.Run(p.Threads, func(c *machine.CPU) {
 		th := sys.Thread(c.ID)
-		var spare machine.Addr
+		// The critical-section closures are hoisted out of the op loop and
+		// communicate through captured locals: closures passed through the
+		// rwlock.Lock interface escape, so per-op literals would allocate on
+		// every operation of the sweep's hottest loop.
+		var spare, gone machine.Addr
+		var key uint64
+		used := false
+		insertCS := func() { used = h.Insert(th, key, key, spare) }
+		removeCS := func() { gone = h.Remove(th, key) }
+		lookupCS := func() { h.Lookup(th, key) }
 		for i := 0; i < opsPerThread; i++ {
-			key := uint64(c.Intn(universe))
+			key = uint64(c.Intn(universe))
 			if c.Intn(100) < p.WritePct {
 				// Write critical section: insert or remove, 50/50, to
 				// keep the population in steady state.
@@ -60,20 +69,20 @@ func RunHashmap(p HashmapParams, mk rwlock.Factory) Result {
 					if spare == 0 {
 						spare = h.PrepareNode(th)
 					}
-					used := false
-					lock.Write(th, func() { used = h.Insert(th, key, key, spare) })
+					used = false
+					lock.Write(th, insertCS)
 					if used {
 						spare = 0
 					}
 				} else {
-					var gone machine.Addr
-					lock.Write(th, func() { gone = h.Remove(th, key) })
+					gone = 0
+					lock.Write(th, removeCS)
 					if gone != 0 {
 						h.Recycle(th, gone)
 					}
 				}
 			} else {
-				lock.Read(th, func() { h.Lookup(th, key) })
+				lock.Read(th, lookupCS)
 			}
 			th.St.Ops++
 		}
@@ -92,7 +101,7 @@ func sensitivityFigure(id, title string, buckets, items int64, baseOps int, pagi
 		Threads:   []int{2, 4, 8, 16, 32, 64, 80},
 		WritePcts: []int{1, 10, 90},
 		TimeLabel: "execution time (s)",
-		Point: func(scheme string, threads, writePct int, scale float64) Result {
+		Point: func(ctx PointCtx, scheme string, threads, writePct int, scale float64) Result {
 			p := HashmapParams{
 				Buckets:  buckets,
 				Items:    items,
@@ -102,7 +111,7 @@ func sensitivityFigure(id, title string, buckets, items int64, baseOps int, pagi
 				Seed:     uint64(1000 + threads*13 + writePct),
 				Paging:   paging,
 			}
-			return RunHashmap(p, SchemeFactory(scheme))
+			return RunHashmap(ctx, p, SchemeFactory(scheme))
 		},
 	}
 }
@@ -160,7 +169,7 @@ func FairnessFigure() *FigureSpec {
 		WritePcts: []int{10, 50, 90},
 		TimeLabel: "execution time (s)",
 	}
-	f.Point = func(scheme string, threads, writePct int, scale float64) Result {
+	f.Point = func(ctx PointCtx, scheme string, threads, writePct int, scale float64) Result {
 		p := HashmapParams{
 			Buckets:  1,
 			Items:    200,
@@ -169,7 +178,7 @@ func FairnessFigure() *FigureSpec {
 			TotalOps: int(8000 * scale),
 			Seed:     uint64(7000 + threads*13 + writePct),
 		}
-		return RunHashmap(p, mkNoROT(scheme == "RW-LE_FAIR", scheme))
+		return RunHashmap(ctx, p, mkNoROT(scheme == "RW-LE_FAIR", scheme))
 	}
 	return f
 }
@@ -191,7 +200,7 @@ func RetriesFigure() *FigureSpec {
 		WritePcts: []int{10},
 		TimeLabel: "execution time (s)",
 	}
-	f.Point = func(scheme string, threads, writePct int, scale float64) Result {
+	f.Point = func(ctx PointCtx, scheme string, threads, writePct int, scale float64) Result {
 		budget := 0
 		for _, b := range budgets {
 			if schemeForBudget(b) == scheme {
@@ -203,7 +212,7 @@ func RetriesFigure() *FigureSpec {
 			Threads: threads, TotalOps: int(8000 * scale),
 			Seed: uint64(9000 + threads*13 + budget),
 		}
-		return RunHashmap(p, func(s *htm.System) rwlock.Lock {
+		return RunHashmap(ctx, p, func(s *htm.System) rwlock.Lock {
 			return newCoreLock(s, budget, budget, false, scheme)
 		})
 	}
@@ -227,14 +236,14 @@ func SplitFigure() *FigureSpec {
 		WritePcts: []int{10, 90},
 		TimeLabel: "execution time (s)",
 	}
-	f.Point = func(scheme string, threads, writePct int, scale float64) Result {
+	f.Point = func(ctx PointCtx, scheme string, threads, writePct int, scale float64) Result {
 		p := HashmapParams{
 			Buckets: lowContentionBuckets, Items: 50, WritePct: writePct,
 			Threads: threads, TotalOps: int(16000 * scale),
 			Seed:   uint64(11000 + threads*13 + writePct),
 			Paging: fig6Paging(lowContentionBuckets, 50),
 		}
-		return RunHashmap(p, SchemeFactory(scheme))
+		return RunHashmap(ctx, p, SchemeFactory(scheme))
 	}
 	return f
 }

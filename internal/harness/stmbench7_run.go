@@ -11,14 +11,14 @@ import (
 // RunSTMBench7 measures one Fig. 8 point: the 24-operation default mix
 // over a medium database, read-only operations under the read lock and
 // update operations under the write lock.
-func RunSTMBench7(threads, writePct, totalOps int, seed uint64, mk rwlock.Factory) Result {
+func RunSTMBench7(ctx PointCtx, threads, writePct, totalOps int, seed uint64, mk rwlock.Factory) Result {
 	cfg := stmbench7.DefaultConfig()
 	m := machine.New(machine.Config{
 		CPUs:     threads,
 		MemWords: cfg.MemWords(),
 		Seed:     seed,
 	})
-	observeMachine(m)
+	ctx.observe(m)
 	sys := htm.NewSystem(m, htm.Config{})
 	lock := mk(sys)
 	b := stmbench7.Build(m, cfg)
@@ -46,8 +46,8 @@ func stmbench7Figure() *FigureSpec {
 		WritePcts: []int{10, 50, 90},
 		TimeLabel: "throughput (ops/s)",
 	}
-	f.Point = func(scheme string, threads, writePct int, scale float64) Result {
-		return RunSTMBench7(threads, writePct, int(4000*scale),
+	f.Point = func(ctx PointCtx, scheme string, threads, writePct int, scale float64) Result {
+		return RunSTMBench7(ctx, threads, writePct, int(4000*scale),
 			uint64(8000+threads*13+writePct), SchemeFactory(scheme))
 	}
 	return f

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"sync"
+
 	"hrwle/internal/htm"
 	"hrwle/internal/machine"
 	"hrwle/internal/rwlock"
@@ -10,14 +12,14 @@ import (
 
 // RunTPCC measures one Fig. 10 point: the TPC-C mix with writePct% update
 // transactions over an in-memory store.
-func RunTPCC(threads, writePct, totalOps int, seed uint64, mk rwlock.Factory) Result {
+func RunTPCC(ctx PointCtx, threads, writePct, totalOps int, seed uint64, mk rwlock.Factory) Result {
 	cfg := tpcc.DefaultConfig()
 	m := machine.New(machine.Config{
 		CPUs:     threads,
 		MemWords: cfg.MemWords(int64(totalOps)),
 		Seed:     seed,
 	})
-	observeMachine(m)
+	ctx.observe(m)
 	sys := htm.NewSystem(m, htm.Config{})
 	lock := mk(sys)
 	db := tpcc.Build(m, cfg)
@@ -40,6 +42,12 @@ func RunTPCC(threads, writePct, totalOps int, seed uint64, mk rwlock.Factory) Re
 // Fig. 10 normalization: absolute throughput collapses by over an order of
 // magnitude across the write mixes, hindering visualization).
 func tpccFigure() *FigureSpec {
+	// The SGL@1 baseline is computed lazily once per writePct and shared by
+	// every point of the figure. Under a parallel sweep several points may
+	// ask for it at once, so the map is mutex-guarded; the computed value is
+	// deterministic (own machine, fixed seed), so it does not matter which
+	// worker computes it first.
+	var baselineMu sync.Mutex
 	baseline := map[int]float64{} // writePct → SGL@1 ops/s
 	f := &FigureSpec{
 		ID:        "fig10",
@@ -49,14 +57,21 @@ func tpccFigure() *FigureSpec {
 		WritePcts: []int{1, 10, 50},
 		TimeLabel: "speedup vs SGL@1 thread",
 	}
-	f.Point = func(scheme string, threads, writePct int, scale float64) Result {
+	f.Point = func(ctx PointCtx, scheme string, threads, writePct int, scale float64) Result {
 		ops := int(3000 * scale)
-		if _, ok := baseline[writePct]; !ok {
-			base := RunTPCC(1, writePct, ops, uint64(15000+writePct), SchemeFactory("SGL"))
-			baseline[writePct] = base.Throughput()
+		baselineMu.Lock()
+		b, ok := baseline[writePct]
+		if !ok {
+			// The baseline machine reports to this point's observer too (it
+			// is replaced by the measured run below, matching the serial
+			// exporter's last-machine-wins behavior).
+			base := RunTPCC(ctx, 1, writePct, ops, uint64(15000+writePct), SchemeFactory("SGL"))
+			b = base.Throughput()
+			baseline[writePct] = b
 		}
-		r := RunTPCC(threads, writePct, ops, uint64(15000+threads*13+writePct), SchemeFactory(scheme))
-		if b := baseline[writePct]; b > 0 {
+		baselineMu.Unlock()
+		r := RunTPCC(ctx, threads, writePct, ops, uint64(15000+threads*13+writePct), SchemeFactory(scheme))
+		if b > 0 {
 			r.Speedup = r.Throughput() / b
 		}
 		return r

@@ -1,0 +1,89 @@
+package htm
+
+import (
+	"testing"
+
+	"hrwle/internal/machine"
+	"hrwle/internal/stats"
+)
+
+// allocSys builds a one-CPU machine plus HTM thread and a 64-word line for
+// the alloc probes, and warms every lazily-grown structure (write-set
+// tables, abort signal) so steady-state measurements start clean.
+func allocSys(t *testing.T) (*machine.Machine, *Thread, machine.Addr) {
+	t.Helper()
+	m := machine.New(machine.Config{CPUs: 1, MemWords: 1 << 16})
+	sys := NewSystem(m, Config{})
+	th := sys.Thread(0)
+	var base machine.Addr
+	m.Setup(func(c *machine.CPU) {
+		base = c.AllocAligned(64)
+		th.Try(false, func() {
+			th.Store(base, 1)
+			th.Abort(stats.AbortExplicit)
+		})
+		th.Try(false, func() { th.Store(base, th.Load(base)+1) })
+	})
+	return m, th, base
+}
+
+// assertZeroAllocs measures body with testing.AllocsPerRun and fails if
+// the steady-state path allocates. These are the simulator's hottest
+// loops: a sweep executes them millions of times, so a single byte per op
+// dominates the host-side profile.
+func assertZeroAllocs(t *testing.T, name string, body func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(200, body); n != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, n)
+	}
+}
+
+// TestFastPathsDoNotAllocate pins the transactional read, write, commit
+// and abort paths at zero host allocations per operation.
+func TestFastPathsDoNotAllocate(t *testing.T) {
+	m, th, base := allocSys(t)
+	m.Setup(func(c *machine.CPU) {
+		assertZeroAllocs(t, "tx read", func() {
+			th.Try(false, func() {
+				for i := 0; i < 8; i++ {
+					th.Load(base + machine.Addr(i))
+				}
+			})
+		})
+		assertZeroAllocs(t, "tx write+commit", func() {
+			th.Try(false, func() {
+				for i := 0; i < 8; i++ {
+					a := base + machine.Addr(i)
+					th.Store(a, th.Load(a)+1)
+				}
+			})
+		})
+		assertZeroAllocs(t, "tx abort", func() {
+			th.Try(false, func() {
+				th.Store(base, 1)
+				th.Abort(stats.AbortExplicit)
+			})
+		})
+		assertZeroAllocs(t, "non-tx load/store", func() {
+			th.Store(base, th.Load(base)+1)
+		})
+	})
+}
+
+// TestROTPathDoesNotAllocate covers the read-only-transaction (suspended
+// write) path separately: ROT begin/commit takes a different route through
+// the lock-word subscription logic.
+func TestROTPathDoesNotAllocate(t *testing.T) {
+	m, th, base := allocSys(t)
+	m.Setup(func(c *machine.CPU) {
+		// Warm the ROT path once before measuring.
+		th.Try(true, func() { th.Load(base) })
+		assertZeroAllocs(t, "rot read+commit", func() {
+			th.Try(true, func() {
+				for i := 0; i < 8; i++ {
+					th.Load(base + machine.Addr(i))
+				}
+			})
+		})
+	})
+}

@@ -156,12 +156,16 @@ type Thread struct {
 
 	readLines  []int64
 	writeLines []int64
-	writeBuf   map[machine.Addr]uint64
-	writeOrder []machine.Addr
+	ws         writeSet
+
+	// sig is the reusable panic payload for abort; aborting with a pointer
+	// to it avoids boxing an interface value on every abort.
+	sig abortSignal
 }
 
 func newThread(s *System, c *machine.CPU) *Thread {
-	t := &Thread{C: c, sys: s, doom: -1, doomKiller: -1, writeBuf: make(map[machine.Addr]uint64)}
+	t := &Thread{C: c, sys: s, doom: -1, doomKiller: -1}
+	t.ws.init()
 	// Interrupts and page faults discard speculative state on real
 	// hardware; model both as a non-transactional doom.
 	c.OnInterrupt = t.doomFromEnvironment
@@ -252,7 +256,8 @@ func (t *Thread) abort(cause stats.AbortCause, persistent bool) {
 	t.St.Aborts[cause]++
 	t.C.Tick(t.C.Costs().AbortPenalty)
 	t.C.Emit(machine.EvTxAbort, addr, PackAbortAux(cause, killer))
-	panic(abortSignal{cause, persistent})
+	t.sig = abortSignal{cause, persistent}
+	panic(&t.sig)
 }
 
 // rollback discards speculative state and deregisters from the directory.
@@ -267,10 +272,7 @@ func (t *Thread) rollback() {
 	}
 	t.readLines = t.readLines[:0]
 	t.writeLines = t.writeLines[:0]
-	t.writeOrder = t.writeOrder[:0]
-	for a := range t.writeBuf {
-		delete(t.writeBuf, a)
-	}
+	t.ws.reset()
 	t.mode = ModeNone
 	t.suspended = false
 	t.doom = -1

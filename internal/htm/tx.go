@@ -82,10 +82,11 @@ func (t *Thread) Commit() {
 	t.C.Sync()
 	t.checkDoom()
 	m := t.C.Machine()
-	for _, a := range t.writeOrder {
-		m.Poke(a, t.writeBuf[a])
+	for _, a := range t.ws.order {
+		v, _ := t.ws.get(a)
+		m.Poke(a, v)
 	}
-	t.C.Emit(machine.EvTxCommit, 0, uint64(len(t.writeOrder)))
+	t.C.Emit(machine.EvTxCommit, 0, uint64(len(t.ws.order)))
 	t.rollback() // reuses the deregistration path; state is now committed
 }
 
@@ -106,7 +107,7 @@ func (t *Thread) Try(rot bool, fn func()) (status Status) {
 		if r == nil {
 			return
 		}
-		sig, ok := r.(abortSignal)
+		sig, ok := r.(*abortSignal)
 		if !ok {
 			if t.mode != ModeNone {
 				t.rollback()
@@ -166,7 +167,7 @@ func (t *Thread) loadData(a machine.Addr) uint64 {
 		e.writer.setDoom(true, t.C.ID, a)
 	}
 	if e.writer == t {
-		if v, ok := t.writeBuf[a]; ok {
+		if v, ok := t.ws.get(a); ok {
 			return v
 		}
 		return m.Peek(a)
@@ -216,10 +217,7 @@ func (t *Thread) Store(a machine.Addr, v uint64) {
 		e.writer = t
 		t.writeLines = append(t.writeLines, line)
 	}
-	if _, ok := t.writeBuf[a]; !ok {
-		t.writeOrder = append(t.writeOrder, a)
-	}
-	t.writeBuf[a] = v
+	t.ws.put(a, v)
 }
 
 // CAS performs a non-transactional compare-and-swap (usable only outside

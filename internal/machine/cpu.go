@@ -54,7 +54,9 @@ func (c *CPU) beginRun(base int64) {
 	c.now = base
 	c.rng = newRNG(c.m.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(c.ID)*0xbf58476d1ce4e5b9 + 1)
 	c.Counters = Counters{}
-	c.tlb = make([]int64, c.m.Cfg.Paging.TLBEntries)
+	if len(c.tlb) != c.m.Cfg.Paging.TLBEntries {
+		c.tlb = make([]int64, c.m.Cfg.Paging.TLBEntries)
+	}
 	for i := range c.tlb {
 		c.tlb[i] = -1
 	}
@@ -103,15 +105,24 @@ func (c *CPU) Sync() {
 	if c.fast {
 		return
 	}
-	if c.now > c.m.Cfg.Deadline {
-		panic(fmt.Sprintf("machine: CPU %d exceeded virtual deadline (%d cycles): livelock?", c.ID, c.m.Cfg.Deadline))
+	m := c.m
+	if c.now > m.Cfg.Deadline {
+		panic(fmt.Sprintf("machine: CPU %d exceeded virtual deadline (%d cycles): livelock?", c.ID, m.Cfg.Deadline))
 	}
-	c.m.heap.fix(c)
-	next := c.m.pickNext(c)
+	// Fast path: all other runnable CPUs are blocked with frozen clocks, so
+	// this CPU keeps the token iff it is still (time, ID)-ahead of the
+	// cached best of them. No heap access needed; the heap is repaired
+	// lazily on the next token handoff. Controlled schedulers must see
+	// every scheduling point, so they always take the slow path.
+	if m.sched == nil && (c.now < m.wakeTime || (c.now == m.wakeTime && c.ID < m.wakeID)) {
+		return
+	}
+	m.heap.fix(c)
+	next := m.pickNext(c)
 	if next == c {
 		return
 	}
-	next.token <- struct{}{}
+	m.grantToken(next)
 	<-c.token
 }
 

@@ -50,10 +50,11 @@ func (h *cpuHeap) remove(c *CPU) {
 	c.heapIdx = -1
 }
 
-// fix restores heap order after c's virtual time changed.
+// fix restores heap order after c's virtual time changed. Virtual clocks
+// are monotonic within a Run, so c's key can only have grown since its
+// last placement and sifting down suffices.
 func (h *cpuHeap) fix(c *CPU) {
 	h.down(c.heapIdx)
-	h.up(c.heapIdx)
 }
 
 func (h *cpuHeap) up(i int) {

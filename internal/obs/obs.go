@@ -104,6 +104,15 @@ func (c *Collector) Event(e machine.Event) {
 	}
 }
 
+// TotalEvents returns the number of events the collector has seen.
+func (c *Collector) TotalEvents() int64 {
+	var n int64
+	for _, k := range c.eventCounts {
+		n += k
+	}
+	return n
+}
+
 // EventTotals returns per-kind event counts keyed by kind name.
 func (c *Collector) EventTotals() map[string]int64 {
 	out := make(map[string]int64)

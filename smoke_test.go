@@ -26,7 +26,7 @@ func TestFigureSmoke(t *testing.T) {
 				}
 			}
 			scheme := spec.Schemes[0]
-			r := spec.Point(scheme, threads, spec.WritePcts[0], 0.01)
+			r := spec.Point(harness.PointCtx{}, scheme, threads, spec.WritePcts[0], 0.01)
 
 			if r.B.Ops <= 0 {
 				t.Fatalf("%s/%s: zero ops completed", id, scheme)
@@ -66,8 +66,8 @@ func TestFigureSmokeDeterministic(t *testing.T) {
 	if !ok {
 		t.Skip("fig3 not registered")
 	}
-	a := spec.Point(spec.Schemes[0], 2, spec.WritePcts[0], 0.01)
-	b := spec.Point(spec.Schemes[0], 2, spec.WritePcts[0], 0.01)
+	a := spec.Point(harness.PointCtx{}, spec.Schemes[0], 2, spec.WritePcts[0], 0.01)
+	b := spec.Point(harness.PointCtx{}, spec.Schemes[0], 2, spec.WritePcts[0], 0.01)
 	if a.Cycles != b.Cycles || a.B.Ops != b.B.Ops || a.B.TxStarts != b.B.TxStarts {
 		t.Fatalf("figure point is not deterministic: %+v vs %+v", a, b)
 	}
