@@ -33,10 +33,16 @@ func run(fair bool) (p50, p99, max int64) {
 		if c.ID < 4 { // four readers sampling entry latency
 			for i := 0; i < 60; i++ {
 				start := c.Now()
+				// Record the entry latency with a plain (restartable)
+				// assignment inside the section and append outside it: an
+				// aborted speculative read re-executes its body, and a
+				// self-append there would record the sample twice.
+				var entry int64
 				lock.Read(t, func() {
-					latencies = append(latencies, c.Now()-start)
+					entry = c.Now() - start
 					t.Load(data)
 				})
+				latencies = append(latencies, entry)
 				c.Tick(int64(c.Intn(500)))
 			}
 		} else { // twelve writers hammering the non-speculative path

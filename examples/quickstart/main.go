@@ -45,14 +45,25 @@ func main() {
 					}
 				})
 			} else {
+				// The section may re-execute after an abort, so it must not
+				// increment the shared counter directly (a retry would count
+				// the same snapshot twice). It publishes its verdict with an
+				// unconditional plain assignment — restartable — and the
+				// counter is bumped outside.
+				sawTorn := false
 				lock.Read(t, func() {
+					tornHere := false
 					v := t.Load(record[0])
 					for _, w := range record[1:] {
 						if t.Load(w) != v {
-							torn++ // never happens: quiescence forbids it
+							tornHere = true // never happens: quiescence forbids it
 						}
 					}
+					sawTorn = tornHere
 				})
+				if sawTorn {
+					torn++
+				}
 			}
 		}
 	})

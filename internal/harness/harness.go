@@ -168,6 +168,9 @@ func (f *FigureSpec) NumPoints() int {
 // RunWithMetrics. mkCtx, if non-nil, supplies the PointCtx for each point
 // index (RunWithMetrics uses it to give every point its own collector
 // slot, keeping the sweep race-free under parallelism).
+//
+//simlint:allow determinism the worker pool parallelizes independent sweep points across host cores; each point runs its own machine from a fixed seed, so results are identical at any worker count
+//simlint:allow abortflow the worker recover propagates point panics across the pool join; the pooled abort signal never reaches it (htm.Thread.Try consumes it inside the simulation) and panicVal is re-panicked verbatim after wg.Wait
 func (f *FigureSpec) runPoints(scale float64, progress io.Writer, workers int, mkCtx func(int) PointCtx) []Result {
 	jobs := f.jobs()
 	out := make([]Result, len(jobs))

@@ -1,3 +1,5 @@
+//simlint:allow-file determinism this file measures host wall-clock performance of the simulator itself (a meta-benchmark); its timings are reported, never fed back into simulated results
+
 package harness
 
 import (

@@ -57,6 +57,18 @@ type abortSignal struct {
 	persistent bool
 }
 
+// IsAbortSignal reports whether a recovered panic value is the HTM abort
+// signal. A recover() on any path that can run inside a transaction must
+// use this (or an equivalent type assertion) to classify what it caught
+// and re-panic the abort signal rather than swallow it: the signal is how
+// speculative execution unwinds to Try, and it carries a pooled payload
+// that must not be retained past the handler. The simlint abortflow
+// analyzer enforces this discipline.
+func IsAbortSignal(r any) bool {
+	_, ok := r.(*abortSignal)
+	return ok
+}
+
 // Config holds the HTM capacity budget.
 type Config struct {
 	// ReadCapLines is the read-set budget in cache lines (default 64,

@@ -40,6 +40,9 @@ type CPU struct {
 	Counters Counters
 }
 
+// newCPU builds one CPU and its token slot.
+//
+//simlint:allow determinism the token channel is the engine's handoff primitive: capacity one, exactly one token in flight, recipients chosen by the virtual-time heap
 func newCPU(m *Machine, id int) *CPU {
 	c := &CPU{
 		m:       m,
@@ -101,6 +104,8 @@ func (c *CPU) Work(n int64) { c.now += n * c.m.Cfg.Costs.Work }
 // Sync blocks until this CPU is the scheduler's minimum-time CPU. Every
 // globally visible action must happen between a Sync and the next clock
 // advance so that actions are linearized in virtual-time order.
+//
+//simlint:allow determinism the token receive parks this goroutine until the deterministic scheduler hands it the token; it is the engine's one blessed channel receive
 func (c *CPU) Sync() {
 	if c.fast {
 		return

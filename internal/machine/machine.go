@@ -153,7 +153,8 @@ type Machine struct {
 	wakeTime int64
 	wakeID   int
 
-	runErr  any
+	runErr any
+	//simlint:allow determinism runOnce serializes whole Run invocations from the host side; it never orders simulated events
 	runOnce sync.Mutex
 }
 
@@ -223,6 +224,9 @@ func (m *Machine) Setup(body func(*CPU)) {
 // returns the elapsed virtual cycles (the time at which the last CPU
 // finished, minus the start time). Virtual time is monotonic across
 // successive Runs on the same machine.
+//
+//simlint:allow determinism this is the virtual-time token-passing engine itself: exactly one goroutine holds the token at any instant, so host scheduling never orders simulated events
+//simlint:allow abortflow the worker recover propagates CPU-body panics across the join; the pooled abort signal never reaches it (htm.Thread.Try consumes it inside the body) and runErr is re-panicked verbatim after wg.Wait
 func (m *Machine) Run(threads int, body func(*CPU)) int64 {
 	if threads <= 0 || threads > len(m.cpus) {
 		panic(fmt.Sprintf("machine: Run with %d threads (have %d CPUs)", threads, len(m.cpus)))
@@ -286,6 +290,8 @@ func (m *Machine) finishCPU(c *CPU, done chan struct{}) {
 // and hands it the execution token. The refresh must happen before the
 // send: once the token is delivered the recipient may immediately consult
 // the cache from its own goroutine.
+//
+//simlint:allow determinism the token handoff is the engine's one blessed channel send; the recipient is chosen by the deterministic virtual-time heap, not by host scheduling
 func (m *Machine) grantToken(next *CPU) {
 	if m.sched == nil {
 		m.refreshWake(next)

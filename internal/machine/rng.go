@@ -1,3 +1,11 @@
+// This file is the canonical randomness source of the whole simulator.
+// Each CPU owns a SplitMix64 stream seeded deterministically from the
+// machine seed and the CPU ID, exposed as machine.CPU.Intn, CPU.Float64
+// and CPU.Rand64; every simulated run is a pure function of the machine
+// seed. Simulator packages must draw randomness only from here — the
+// simlint determinism analyzer rejects math/rand and points violators at
+// this file.
+
 package machine
 
 // rng is a SplitMix64 pseudo-random generator. Each CPU owns one stream,

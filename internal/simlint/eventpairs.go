@@ -1,0 +1,607 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const machinePkgPath = "hrwle/internal/machine"
+
+// pairEndOf maps a Begin-style trace event constant to its matching End.
+// EvTxBegin/EvTxCommit/EvTxAbort are deliberately absent: transaction
+// windows legitimately span functions (htm.Thread.Begin emits the open,
+// commit/abort paths emit the close) and are checked dynamically by the
+// trace verifier instead.
+var pairEndOf = map[string]string{
+	"EvCSBegin":      "EvCSEnd",
+	"EvQuiesceStart": "EvQuiesceEnd",
+}
+
+// pairBeginOf is the inverse of pairEndOf.
+var pairBeginOf = map[string]string{
+	"EvCSEnd":      "EvCSBegin",
+	"EvQuiesceEnd": "EvQuiesceStart",
+}
+
+// pairKinds lists the Begin constants, for deterministic iteration.
+var pairKinds = []string{"EvCSBegin", "EvQuiesceStart"}
+
+// NewEventPairs returns the eventpairs analyzer. Trace consumers
+// (obs.CSIntervals, the quiesce-window scanner) reconstruct intervals from
+// Begin/End pairs, so a function that emits a Begin must emit the matching
+// End on every return path. Additionally, a function reachable from a
+// transaction body (a literal passed to (*htm.Thread).Try) must close its
+// pairs from a defer: an HTM abort unwinds the stack by panic, skipping
+// every straight-line End emission.
+func NewEventPairs() *Analyzer {
+	a := &Analyzer{
+		Name: "eventpairs",
+		Doc:  "a function emitting a Begin-style trace event must emit the matching End on all return paths; transaction-reachable emitters must close pairs from a defer",
+	}
+	a.Run = runEventPairs
+	return a
+}
+
+func runEventPairs(pass *Pass) error {
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	for _, fd := range decls {
+		if emitsPairEvent(pass, fd.Body) {
+			w := &epWalker{pass: pass, locals: make(map[types.Object][]emission)}
+			st := newEPState()
+			w.walkStmt(st, fd.Body)
+			if !st.unreachable {
+				w.checkBalance(st)
+			}
+		}
+	}
+	checkTxContextEmitters(pass, decls)
+	return nil
+}
+
+// emission is one Emit call of a paired event kind.
+type emission struct {
+	kind string // the event constant's name, e.g. "EvCSBegin"
+	pos  token.Pos
+}
+
+// epState is the abstract state of the structured walker: the stack of
+// open Begin emissions per pair, and the End credits registered by defers
+// (which fire on every exit, including the abort-panic unwind).
+type epState struct {
+	open        map[string][]token.Pos // Begin kind -> positions of open emissions
+	deferred    map[string]int         // Begin kind -> deferred End credits
+	unreachable bool
+}
+
+func newEPState() *epState {
+	return &epState{open: make(map[string][]token.Pos), deferred: make(map[string]int)}
+}
+
+func (st *epState) clone() *epState {
+	out := newEPState()
+	out.unreachable = st.unreachable
+	for k, v := range st.open {
+		out.open[k] = append([]token.Pos(nil), v...)
+	}
+	for k, v := range st.deferred {
+		out.deferred[k] = v
+	}
+	return out
+}
+
+type epWalker struct {
+	pass *Pass
+	// locals maps variables bound to function literals (e.g. a done :=
+	// func(){ Emit(End) } helper) to the literal's emission effect, so
+	// calling the variable is treated as performing those emissions.
+	locals map[types.Object][]emission
+}
+
+// walkStmt advances st through stmt.
+func (w *epWalker) walkStmt(st *epState, stmt ast.Stmt) {
+	if st.unreachable || stmt == nil {
+		return
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if st.unreachable {
+				return
+			}
+			w.walkStmt(st, inner)
+		}
+	case *ast.ExprStmt:
+		w.applyExpr(st, s.X)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isPanicCall(w.pass, call) {
+			// The pairs an abort-panic leaves open are the business of
+			// the deferred handlers, not of this function's return paths.
+			st.unreachable = true
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range s.Rhs {
+			if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok && i < len(s.Lhs) {
+				if id, ok := s.Lhs[i].(*ast.Ident); ok {
+					obj := w.pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = w.pass.TypesInfo.Uses[id]
+					}
+					if obj != nil {
+						w.locals[obj] = w.litEmissions(lit)
+						continue
+					}
+				}
+			}
+			w.applyExpr(st, rhs)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					if lit, ok := ast.Unparen(v).(*ast.FuncLit); ok && i < len(vs.Names) {
+						if obj := w.pass.TypesInfo.Defs[vs.Names[i]]; obj != nil {
+							w.locals[obj] = w.litEmissions(lit)
+							continue
+						}
+					}
+					w.applyExpr(st, v)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		for _, e := range w.callEmissions(s.Call) {
+			if begin, ok := pairBeginOf[e.kind]; ok {
+				st.deferred[begin]++
+			}
+			// A Begin emitted from a defer cannot be matched
+			// structurally; ignore it here (the End-without-Begin check
+			// in the reader catches the orphan at runtime).
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.applyExpr(st, r)
+		}
+		w.checkBalance(st)
+		st.unreachable = true
+	case *ast.IfStmt:
+		w.walkStmt(st, s.Init)
+		w.applyExpr(st, s.Cond)
+		thenSt, elseSt := st.clone(), st.clone()
+		w.walkStmt(thenSt, s.Body)
+		if s.Else != nil {
+			w.walkStmt(elseSt, s.Else)
+		}
+		*st = *w.merge(s.Pos(), thenSt, elseSt)
+	case *ast.ForStmt:
+		w.walkStmt(st, s.Init)
+		w.applyExpr(st, s.Cond)
+		body := st.clone()
+		w.walkStmt(body, s.Body)
+		w.walkStmt(body, s.Post)
+		w.checkLoopLeak(s.Pos(), st, body)
+		if s.Cond == nil && !hasLoopBreak(s.Body) {
+			// for {} with no break: the only exits are returns and
+			// panics inside the body, already checked there.
+			st.unreachable = true
+		}
+	case *ast.RangeStmt:
+		w.applyExpr(st, s.X)
+		body := st.clone()
+		w.walkStmt(body, s.Body)
+		w.checkLoopLeak(s.Pos(), st, body)
+	case *ast.SwitchStmt:
+		w.walkStmt(st, s.Init)
+		w.applyExpr(st, s.Tag)
+		w.walkCases(st, s.Pos(), s.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st, s.Init)
+		w.walkCases(st, s.Pos(), s.Body)
+	case *ast.SelectStmt:
+		w.walkCases(st, s.Pos(), s.Body)
+	case *ast.BranchStmt:
+		if s.Tok != token.FALLTHROUGH {
+			st.unreachable = true
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(st, s.Stmt)
+	case *ast.SendStmt:
+		w.applyExpr(st, s.Chan)
+		w.applyExpr(st, s.Value)
+	case *ast.IncDecStmt:
+		w.applyExpr(st, s.X)
+	case *ast.GoStmt:
+		// Spawn effects are not attributed to this function's paths.
+	}
+}
+
+// walkCases handles the clause list of a switch/type-switch/select.
+func (w *epWalker) walkCases(st *epState, pos token.Pos, body *ast.BlockStmt) {
+	var outs []*epState
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				w.applyExpr(st, e)
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cc.Body
+		}
+		cs := st.clone()
+		for _, inner := range stmts {
+			if cs.unreachable {
+				break
+			}
+			w.walkStmt(cs, inner)
+		}
+		outs = append(outs, cs)
+	}
+	if !hasDefault || len(outs) == 0 {
+		// Without a default, no case may match and the switch falls
+		// through with the entry state.
+		outs = append(outs, st.clone())
+	}
+	*st = *w.merge(pos, outs...)
+}
+
+// merge joins branch states. Branches that ended (returned, panicked) do
+// not contribute. If reachable branches disagree on which pairs are open,
+// that is itself a violation: an event pair opened or closed on only some
+// branches.
+func (w *epWalker) merge(pos token.Pos, states ...*epState) *epState {
+	var live []*epState
+	for _, s := range states {
+		if !s.unreachable {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		out := newEPState()
+		out.unreachable = true
+		return out
+	}
+	out := live[0].clone()
+	for _, s := range live[1:] {
+		for _, b := range pairKinds {
+			if len(s.open[b]) != len(out.open[b]) {
+				w.pass.Report(pos, "machine.%s pair is open on some branches but not others past this point; emit machine.%s on every branch or none", b, pairEndOf[b])
+				if len(s.open[b]) > len(out.open[b]) {
+					out.open[b] = append([]token.Pos(nil), s.open[b]...)
+				}
+			}
+			if s.deferred[b] < out.deferred[b] {
+				out.deferred[b] = s.deferred[b]
+			}
+		}
+	}
+	return out
+}
+
+// checkLoopLeak verifies a loop body leaves the open-pair state as it
+// found it; otherwise every iteration leaks (or double-closes) a pair.
+func (w *epWalker) checkLoopLeak(pos token.Pos, entry, bodyOut *epState) {
+	if bodyOut.unreachable {
+		return
+	}
+	for _, b := range pairKinds {
+		if len(bodyOut.open[b]) > len(entry.open[b]) {
+			w.pass.Report(pos, "machine.%s opened inside this loop is still open when the iteration ends; each iteration must close the pair it opens", b)
+		}
+	}
+}
+
+// checkBalance reports, at their emission sites, Begin events that no End
+// (straight-line or deferred) closes on the current path.
+func (w *epWalker) checkBalance(st *epState) {
+	for _, b := range pairKinds {
+		unmatched := len(st.open[b]) - st.deferred[b]
+		for i := 0; i < unmatched && i < len(st.open[b]); i++ {
+			w.pass.Report(st.open[b][i], "machine.%s emitted here has no matching machine.%s on some return path; emit the End on every path or close the pair from a defer", b, pairEndOf[b])
+		}
+	}
+}
+
+// applyExpr applies the emissions performed while evaluating expr.
+func (w *epWalker) applyExpr(st *epState, expr ast.Expr) {
+	if expr == nil {
+		return
+	}
+	for _, e := range w.exprEmissions(expr) {
+		w.apply(st, e)
+	}
+}
+
+func (w *epWalker) apply(st *epState, e emission) {
+	if _, isBegin := pairEndOf[e.kind]; isBegin {
+		st.open[e.kind] = append(st.open[e.kind], e.pos)
+		return
+	}
+	begin := pairBeginOf[e.kind]
+	if n := len(st.open[begin]); n > 0 {
+		st.open[begin] = st.open[begin][:n-1]
+		return
+	}
+	w.pass.Report(e.pos, "machine.%s emitted with no open machine.%s in this function", e.kind, begin)
+}
+
+// exprEmissions collects the paired-event emissions performed by expr,
+// not descending into function literals (they run when called, and
+// locally-bound literals are inlined at their call sites).
+func (w *epWalker) exprEmissions(expr ast.Expr) []emission {
+	var out []emission
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			out = append(out, w.callEmissions(call)...)
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+// callEmissions resolves the emissions of a single call: a direct Emit, or
+// a call of a locally-bound closure whose effect was recorded.
+func (w *epWalker) callEmissions(call *ast.CallExpr) []emission {
+	if e, ok := emitKind(w.pass, call); ok {
+		return []emission{e}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if eff, ok := w.locals[w.pass.TypesInfo.Uses[fun]]; ok {
+			return eff
+		}
+	case *ast.FuncLit:
+		return w.litEmissions(fun)
+	}
+	return nil
+}
+
+// litEmissions collects the direct emissions of a function literal's body
+// (used for locally-bound helper closures and deferred closers).
+func (w *epWalker) litEmissions(lit *ast.FuncLit) []emission {
+	var out []emission
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if e, ok := emitKind(w.pass, call); ok {
+				out = append(out, e)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// emitKind recognizes a call to (*machine.CPU).Emit whose event argument
+// is one of the paired constants.
+func emitKind(pass *Pass, call *ast.CallExpr) (emission, bool) {
+	fn := pass.FuncOf(call)
+	if fn == nil || fn.Name() != "Emit" || fn.Pkg() == nil || fn.Pkg().Path() != machinePkgPath {
+		return emission{}, false
+	}
+	if len(call.Args) == 0 {
+		return emission{}, false
+	}
+	var obj types.Object
+	switch a := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[a]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[a.Sel]
+	}
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != machinePkgPath {
+		return emission{}, false
+	}
+	name := obj.Name()
+	if _, ok := pairEndOf[name]; ok {
+		return emission{kind: name, pos: call.Pos()}, true
+	}
+	if _, ok := pairBeginOf[name]; ok {
+		return emission{kind: name, pos: call.Pos()}, true
+	}
+	return emission{}, false
+}
+
+// emitsPairEvent is a fast pre-filter: does the body mention Emit with a
+// paired constant at all?
+func emitsPairEvent(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := emitKind(pass, call); ok {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasLoopBreak reports whether body contains a break that exits the loop
+// it belongs to (unlabeled breaks inside nested loops, switches and
+// selects bind to those constructs instead).
+func hasLoopBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Stmt, nested bool)
+	walkBlock := func(stmts []ast.Stmt, nested bool) {
+		for _, s := range stmts {
+			walk(s, nested)
+		}
+	}
+	walk = func(n ast.Stmt, nested bool) {
+		if found || n == nil {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK && (!nested || s.Label != nil) {
+				found = true
+			}
+		case *ast.BlockStmt:
+			walkBlock(s.List, nested)
+		case *ast.IfStmt:
+			walk(s.Body, nested)
+			walk(s.Else, nested)
+		case *ast.LabeledStmt:
+			walk(s.Stmt, nested)
+		case *ast.ForStmt:
+			walk(s.Body, true)
+		case *ast.RangeStmt:
+			walk(s.Body, true)
+		case *ast.SwitchStmt:
+			walk(s.Body, true)
+		case *ast.TypeSwitchStmt:
+			walk(s.Body, true)
+		case *ast.SelectStmt:
+			walk(s.Body, true)
+		}
+	}
+	walk(body, false)
+	return found
+}
+
+// checkTxContextEmitters enforces the defer-close rule for functions
+// reachable from a transaction body: an HTM abort unwinds by panic, so a
+// Begin whose End is emitted straight-line would be orphaned in the trace.
+func checkTxContextEmitters(pass *Pass, decls []*ast.FuncDecl) {
+	callees := make(map[*types.Func][]*types.Func)
+	objOf := make(map[*types.Func]*ast.FuncDecl)
+	var txRoots []*types.Func
+	for _, fd := range decls {
+		obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if obj == nil {
+			continue
+		}
+		objOf[obj] = fd
+		// Literal bindings, for t.Try(body) where body := func(){...}.
+		bindings := make(map[types.Object]*ast.FuncLit)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for i, rhs := range as.Rhs {
+					if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok && i < len(as.Lhs) {
+						if id, ok := as.Lhs[i].(*ast.Ident); ok {
+							if o := pass.TypesInfo.Defs[id]; o != nil {
+								bindings[o] = lit
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := pass.FuncOf(call); fn != nil {
+				callees[obj] = append(callees[obj], fn)
+				if IsNamed(fn, htmPath, "Try") && len(call.Args) > 0 {
+					var lit *ast.FuncLit
+					switch a := ast.Unparen(call.Args[0]).(type) {
+					case *ast.FuncLit:
+						lit = a
+					case *ast.Ident:
+						lit = bindings[pass.TypesInfo.Uses[a]]
+					}
+					if lit != nil {
+						ast.Inspect(lit, func(n ast.Node) bool {
+							if c, ok := n.(*ast.CallExpr); ok {
+								if callee := pass.FuncOf(c); callee != nil {
+									txRoots = append(txRoots, callee)
+								}
+							}
+							return true
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Propagate transaction-context reachability through the package-local
+	// call graph.
+	txCtx := make(map[*types.Func]bool)
+	work := txRoots
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if txCtx[fn] || objOf[fn] == nil {
+			continue
+		}
+		txCtx[fn] = true
+		work = append(work, callees[fn]...)
+	}
+	for fn := range txCtx {
+		fd := objOf[fn]
+		deferEnds := make(map[string]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ds, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			collect := func(c *ast.CallExpr) {
+				if e, ok := emitKind(pass, c); ok {
+					if _, isEnd := pairBeginOf[e.kind]; isEnd {
+						deferEnds[e.kind] = true
+					}
+				}
+			}
+			if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					if c, ok := n.(*ast.CallExpr); ok {
+						collect(c)
+					}
+					return true
+				})
+			} else {
+				collect(ds.Call)
+			}
+			return false
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			e, ok := emitKind(pass, call)
+			if !ok {
+				return true
+			}
+			if end, isBegin := pairEndOf[e.kind]; isBegin && !deferEnds[end] {
+				pass.Report(e.pos, "machine.%s emitted in a transaction context (%s is reachable from a literal passed to (*htm.Thread).Try): an HTM abort unwinds past straight-line End emissions; close the pair with `defer ... Emit(machine.%s, ...)`", e.kind, fn.Name(), end)
+			}
+			return true
+		})
+	}
+}

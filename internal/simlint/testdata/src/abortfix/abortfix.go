@@ -1,0 +1,65 @@
+// Package abortfix is a simlint fixture for the abortflow analyzer:
+// recover handlers on transaction-reachable paths that swallow or retain
+// the pooled abort signal, next to the compliant classify-and-rethrow
+// shape.
+package abortfix
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+)
+
+var leaked any
+
+// swallow recovers around an aborting store without classifying what it
+// caught: an HTM abort would be silently eaten here.
+func swallow(t *htm.Thread, a machine.Addr) {
+	defer func() {
+		recover() // want "may swallow the HTM abort signal"
+	}()
+	t.Store(a, 1)
+}
+
+// retain re-panics (so it does not swallow) but parks the recovered value
+// in a package variable first — retaining the pooled payload.
+func retain(t *htm.Thread, a machine.Addr) {
+	defer func() {
+		r := recover()
+		leaked = r // want "retained past the handler"
+		panic(r)
+	}()
+	t.Store(a, 1)
+}
+
+// classified is the compliant shape: classify with htm.IsAbortSignal,
+// re-panic everything not owned, keep nothing.
+func classified(t *htm.Thread, a machine.Addr) (aborted bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if !htm.IsAbortSignal(r) {
+			panic(r)
+		}
+		aborted = true
+	}()
+	t.Store(a, 1)
+	return false
+}
+
+// repanics is the other compliant shape: unconditionally re-raising
+// whatever was recovered never swallows the signal.
+func repanics(t *htm.Thread, a machine.Addr) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(error); ok {
+			panic(r)
+		}
+		panic(r)
+	}()
+	t.Load(a)
+}

@@ -1,0 +1,9 @@
+// Package badallow exercises directive validation: a directive with no
+// analyzer and reason, and one naming an analyzer that does not exist.
+package badallow
+
+//simlint:allow
+func missingFields() {}
+
+//simlint:allow nosuchanalyzer the analyzer name is a typo
+func unknownAnalyzer() {}

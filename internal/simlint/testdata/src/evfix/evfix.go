@@ -1,0 +1,63 @@
+// Package evfix is a simlint fixture for the eventpairs analyzer:
+// Begin/End trace-event pairing across return paths, loops, deferred
+// closers and transaction contexts.
+package evfix
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+)
+
+// missingEndOnError forgets the End emission on the early-return path.
+func missingEndOnError(c *machine.CPU, fail bool) {
+	c.Emit(machine.EvCSBegin, 0, 0) // want "no matching machine.EvCSEnd on some return path"
+	if fail {
+		return
+	}
+	c.Emit(machine.EvCSEnd, 0, 0)
+}
+
+// loopLeak opens a pair on every iteration without closing it.
+func loopLeak(c *machine.CPU, n int) {
+	for i := 0; i < n; i++ { // want "still open when the iteration ends"
+		c.Emit(machine.EvQuiesceStart, 0, 0)
+	}
+}
+
+// endOnly closes a pair that was never opened.
+func endOnly(c *machine.CPU) {
+	c.Emit(machine.EvCSEnd, 0, 0) // want "no open machine.EvCSBegin"
+}
+
+// balanced is the straight-line compliant shape, including a closure
+// helper bound to a local and called on each return path.
+func balanced(c *machine.CPU, alt bool) {
+	c.Emit(machine.EvCSBegin, 0, 0)
+	done := func() { c.Emit(machine.EvCSEnd, 0, 0) }
+	if alt {
+		done()
+		return
+	}
+	done()
+}
+
+// txStraightLine runs inside a transaction (reachable from a Try literal)
+// but closes its pair straight-line: an abort unwind would orphan it.
+func txStraightLine(c *machine.CPU) {
+	c.Emit(machine.EvQuiesceStart, 0, 0) // want "transaction context"
+	c.Emit(machine.EvQuiesceEnd, 0, 0)
+}
+
+// txDeferClosed is the compliant transactional shape: the End fires from
+// a defer on every unwind, abort included.
+func txDeferClosed(c *machine.CPU) {
+	c.Emit(machine.EvQuiesceStart, 0, 0)
+	defer c.Emit(machine.EvQuiesceEnd, 0, 0)
+}
+
+func enterTx(t *htm.Thread, c *machine.CPU) {
+	t.Try(func() {
+		txStraightLine(c)
+		txDeferClosed(c)
+	})
+}

@@ -1,0 +1,12 @@
+package evfix
+
+import "hrwle/internal/machine"
+
+// allowedOpenPair is the suppression case: a deliberately half-open pair
+// (its End is emitted by a paired helper the analyzer cannot see) vouched
+// for with a reasoned directive.
+//
+//simlint:allow eventpairs fixture: the matching End is emitted by the caller's teardown hook
+func allowedOpenPair(c *machine.CPU) {
+	c.Emit(machine.EvCSBegin, 0, 0)
+}

@@ -1,0 +1,3 @@
+module hrwle
+
+go 1.22

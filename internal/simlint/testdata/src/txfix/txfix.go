@@ -1,0 +1,82 @@
+// Package txfix is a simlint fixture for the txdiscipline analyzer:
+// critical-section bodies touching raw simulated state or mutating
+// captured host state in non-restartable ways.
+package txfix
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+)
+
+// RWLock mimics the rwlock.Lock critical-section surface the analyzer
+// keys on: methods named Read/Write of shape func(*htm.Thread, func()).
+type RWLock struct{}
+
+func (l *RWLock) Read(t *htm.Thread, cs func()) { cs() }
+
+func (l *RWLock) Write(t *htm.Thread, cs func()) { cs() }
+
+func rawPeekInCS(l *RWLock, t *htm.Thread, m *machine.Machine, a machine.Addr) uint64 {
+	var v uint64
+	l.Read(t, func() {
+		v = m.Peek(a) // want "machine.Peek bypasses HTM conflict detection"
+	})
+	return v
+}
+
+func allocInCS(l *RWLock, t *htm.Thread) {
+	l.Write(t, func() {
+		t.Alloc(8) // want "not restartable"
+	})
+}
+
+func capturedMutations(l *RWLock, t *htm.Thread, a machine.Addr) (int, []uint64) {
+	count := 0
+	var hist []uint64
+	idx := map[int]uint64{}
+	l.Write(t, func() {
+		count++                        // want "increments captured"
+		hist = append(hist, t.Load(a)) // want "self-appends to captured"
+		idx[1] = t.Load(a)             // want "stores into captured map"
+		delete(idx, 1)                 // want "deletes from captured map"
+	})
+	return count, hist
+}
+
+// viaHelper shows transitive checking: the raw access sits in a helper
+// the section calls, and is reported at the helper's call site.
+func viaHelper(l *RWLock, t *htm.Thread, m *machine.Machine, a machine.Addr) {
+	l.Write(t, func() {
+		helperPoke(m, a)
+	})
+}
+
+func helperPoke(m *machine.Machine, a machine.Addr) {
+	m.Poke(a, 1) // want "reachable from a critical section via helperPoke"
+}
+
+// hoisted shows the ident-bound body form (cs := func(){...}; l.Write(t, cs)).
+func hoisted(l *RWLock, t *htm.Thread, m *machine.Machine, a machine.Addr) {
+	cs := func() {
+		m.Poke(a, 3) // want "machine.Poke"
+	}
+	l.Write(t, cs)
+}
+
+// tryBody checks the (*htm.Thread).Try entry point directly.
+func tryBody(t *htm.Thread, m *machine.Machine, a machine.Addr) {
+	t.Try(func() {
+		m.Poke(a, 2) // want "machine.Poke"
+	})
+}
+
+// compliant is the blessed shape: all simulated-memory traffic goes
+// through the htm.Thread API, and captured state only sees plain
+// (restartable) reassignment.
+func compliant(l *RWLock, t *htm.Thread, a machine.Addr) uint64 {
+	var got uint64
+	l.Read(t, func() {
+		got = t.Load(a)
+	})
+	return got
+}

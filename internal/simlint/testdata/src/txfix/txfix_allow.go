@@ -1,0 +1,17 @@
+package txfix
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+)
+
+// allowedRaw is the suppression case: a raw read inside a section the
+// author vouches for with a reasoned directive on the preceding line.
+func allowedRaw(l *RWLock, t *htm.Thread, m *machine.Machine, a machine.Addr) uint64 {
+	var v uint64
+	l.Read(t, func() {
+		//simlint:allow txdiscipline fixture: diagnostic-only peek validated under a single-threaded schedule
+		v = m.Peek(a)
+	})
+	return v
+}
