@@ -2,13 +2,23 @@ package check
 
 import "hrwle/internal/machine"
 
+// TraceHook, when non-nil, supplies a fresh tracer for every controlled
+// execution the explorer runs. It exists for the engine differential test
+// harness (internal/enginediff), which fingerprints the event stream of
+// each explored schedule; production explorations leave it nil.
+var TraceHook func() machine.Tracer
+
 // runOne executes the configured program once under the given controlled
-// schedule and returns the first violated invariant ("" if none).
-func runOne(cfg Config, sc *ctrl) (violation string, points int, truncated bool) {
+// schedule and returns the execution's outcome label (litmus programs only,
+// "" otherwise) and the first violated invariant ("" if none).
+func runOne(cfg Config, sc *ctrl) (outcome, violation string, points int, truncated bool) {
 	m, sys, lock := buildSystem(cfg)
 	ctx := &runCtx{cfg: cfg, m: m, sys: sys, lock: lock}
 	p := programFor(cfg.Program)
 	p.setup(ctx)
+	if TraceHook != nil {
+		m.SetTracer(TraceHook())
+	}
 	m.SetScheduler(sc)
 	m.Run(cfg.Threads, func(c *machine.CPU) {
 		p.body(ctx, sys.Thread(c.ID), c)
@@ -17,7 +27,7 @@ func runOne(cfg Config, sc *ctrl) (violation string, points int, truncated bool)
 	if len(ctx.violations) > 0 {
 		violation = ctx.violations[0]
 	}
-	return violation, len(sc.trace), sc.truncated
+	return ctx.outcome, violation, len(sc.trace), sc.truncated
 }
 
 // Explore searches cfg's schedule space for an invariant violation. It
@@ -47,7 +57,7 @@ func Explore(cfg Config) Report {
 // violation with its replay token.
 func runRecorded(cfg Config, spec schedule, rep *Report) *Violation {
 	sc := newCtrl(cfg, spec)
-	desc, points, truncated := runOne(cfg, sc)
+	_, desc, points, truncated := runOne(cfg, sc)
 	rep.Executions++
 	rep.Points += int64(points)
 	if truncated {
@@ -70,7 +80,7 @@ func exploreDFS(cfg Config, budget int, rep *Report) *Violation {
 	for rep.Executions < budget {
 		spec := schedule{Kind: "prefix", Choices: prefix}
 		sc := newCtrl(cfg, spec)
-		desc, points, truncated := runOne(cfg, sc)
+		_, desc, points, truncated := runOne(cfg, sc)
 		rep.Executions++
 		rep.Points += int64(points)
 		if truncated {

@@ -1,0 +1,209 @@
+package check
+
+import (
+	"fmt"
+
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+)
+
+// Litmus seeds: tiny fixed-shape programs, in the style of hardware litmus
+// tests, that pin down how transactional and non-transactional code is
+// allowed to interact under each lock scheme. Unlike the closed programs in
+// program.go, a litmus program does not judge itself: every execution
+// produces an *outcome label* (the reader's observed values), and
+// EnumerateOutcomes exhausts the bounded schedule space to compute the set
+// of labels a scheme can produce. The allowed-outcome sets live in
+// litmus_test.go; future scheme work inherits both the shapes and the sets.
+//
+// All shapes run two threads — CPU 0 writes, CPU 1 observes — over two
+// words x and y on distinct cache lines, so a torn commit is visible
+// between them:
+//
+//   - litmus-pub (publication): the writer publishes x and then y in two
+//     separate write sections; the reader's single read section loads y
+//     then x. Seeing the flag (y=1) without the data (x=0) is forbidden.
+//   - litmus-agg (aggregate-store visibility): the writer stores x and y
+//     inside one write section; the reader loads x then y in one read
+//     section. Commits are aggregate, so only x=y snapshots are allowed.
+//   - litmus-susp (suspend-window race): litmus-agg with the writer's
+//     section widened by private work between the stores and the reader
+//     loading in reverse (y then x) — the shape of paper §3 Fig. 2, where
+//     the reader's section overlaps the writer's suspended quiescence scan
+//     and must either be waited for or doom the speculation.
+//   - litmus-upd (lost update): both threads run a read-modify-write
+//     section incrementing x; the only allowed final state is x=2.
+type litmusSpec struct {
+	name string
+	body func(ctx *runCtx, th *htm.Thread, c *machine.CPU)
+	// label renders the outcome from the reader's observations and the
+	// final memory state after all threads finished.
+	label func(ctx *runCtx) string
+}
+
+// LitmusPrograms returns the litmus program names, runnable through the
+// same Config.Program field as the closed programs. They are deliberately
+// not part of Programs(): the engine differential harness captures
+// Schemes()×Programs() golden traces, while litmus outcome sets are pinned
+// by their own exhaustive enumerations in litmus_test.go.
+func LitmusPrograms() []string {
+	return []string{"litmus-pub", "litmus-agg", "litmus-susp", "litmus-upd"}
+}
+
+func litmusSpecs() []litmusSpec {
+	return []litmusSpec{
+		{
+			name: "litmus-pub",
+			body: func(ctx *runCtx, th *htm.Thread, c *machine.CPU) {
+				switch c.ID {
+				case 0:
+					ctx.lock.Write(th, func() { th.Store(ctx.litX, 1) })
+					ctx.lock.Write(th, func() { th.Store(ctx.litY, 1) })
+				case 1:
+					var r1, r2 uint64
+					ctx.lock.Read(th, func() {
+						r1 = th.Load(ctx.litY)
+						r2 = th.Load(ctx.litX)
+					})
+					ctx.litR1, ctx.litR2 = r1, r2
+				}
+			},
+			label: func(ctx *runCtx) string {
+				return fmt.Sprintf("y=%d x=%d", ctx.litR1, ctx.litR2)
+			},
+		},
+		{
+			name: "litmus-agg",
+			body: func(ctx *runCtx, th *htm.Thread, c *machine.CPU) {
+				switch c.ID {
+				case 0:
+					ctx.lock.Write(th, func() {
+						th.Store(ctx.litX, 1)
+						th.Store(ctx.litY, 1)
+					})
+				case 1:
+					var r1, r2 uint64
+					ctx.lock.Read(th, func() {
+						r1 = th.Load(ctx.litX)
+						r2 = th.Load(ctx.litY)
+					})
+					ctx.litR1, ctx.litR2 = r1, r2
+				}
+			},
+			label: func(ctx *runCtx) string {
+				return fmt.Sprintf("x=%d y=%d", ctx.litR1, ctx.litR2)
+			},
+		},
+		{
+			name: "litmus-susp",
+			body: func(ctx *runCtx, th *htm.Thread, c *machine.CPU) {
+				switch c.ID {
+				case 0:
+					ctx.lock.Write(th, func() {
+						th.Store(ctx.litX, 1)
+						// Widen the speculation window so the reader's
+						// section can land inside the writer's suspended
+						// quiescence scan.
+						c.Work(64)
+						th.Store(ctx.litY, 1)
+					})
+				case 1:
+					var r1, r2 uint64
+					ctx.lock.Read(th, func() {
+						r1 = th.Load(ctx.litY)
+						r2 = th.Load(ctx.litX)
+					})
+					ctx.litR1, ctx.litR2 = r1, r2
+				}
+			},
+			label: func(ctx *runCtx) string {
+				return fmt.Sprintf("y=%d x=%d", ctx.litR1, ctx.litR2)
+			},
+		},
+		{
+			name: "litmus-upd",
+			body: func(ctx *runCtx, th *htm.Thread, c *machine.CPU) {
+				if c.ID > 1 {
+					return
+				}
+				ctx.lock.Write(th, func() {
+					th.Store(ctx.litX, th.Load(ctx.litX)+1)
+				})
+			},
+			label: func(ctx *runCtx) string {
+				return fmt.Sprintf("x=%d", ctx.m.Peek(ctx.litX))
+			},
+		},
+	}
+}
+
+// litmusProgram resolves a litmus name to a runnable program. The shapes
+// are fixed: cfg.Ops is ignored and threads beyond the first two idle.
+func litmusProgram(name string) (program, bool) {
+	for _, spec := range litmusSpecs() {
+		if spec.name != name {
+			continue
+		}
+		spec := spec
+		return program{
+			setup: func(ctx *runCtx) {
+				ctx.litX = ctx.m.AllocRawAligned(1)
+				ctx.litY = ctx.m.AllocRawAligned(1)
+			},
+			body: func(ctx *runCtx, th *htm.Thread, c *machine.CPU) {
+				if c.ID > 1 {
+					return
+				}
+				spec.body(ctx, th, c)
+			},
+			check: func(ctx *runCtx) {
+				ctx.outcome = spec.label(ctx)
+			},
+		}, true
+	}
+	return program{}, false
+}
+
+// EnumerateOutcomes explores cfg's schedule space and returns how often
+// each outcome label was observed, instead of stopping at the first
+// violation the way Explore does. It first runs the preemption-bounded DFS
+// to exhaustion (the report's Exhausted flag states whether the whole
+// bounded space was covered), then spends the rest of the execution budget
+// on seed-swept burst walks: fine-grained deviations around the default
+// schedule cannot reorder whole critical sections (running a long write
+// path to completion first deviates at every decision point, blowing any
+// preemption bound), but a burst walk favoring one CPU can, which is what
+// adds the coarse-grained serialization witnesses to the set. Both phases
+// are deterministic, so the returned set is a pure function of cfg.
+func EnumerateOutcomes(cfg Config) (map[string]int, Report) {
+	cfg = cfg.withDefaults()
+	rep := Report{Config: cfg}
+	outcomes := map[string]int{}
+	record := func(spec schedule) *ctrl {
+		sc := newCtrl(cfg, spec)
+		out, desc, points, truncated := runOne(cfg, sc)
+		rep.Executions++
+		rep.Points += int64(points)
+		if truncated {
+			rep.Truncated++
+		}
+		outcomes[out]++
+		if desc != "" && rep.Violation == nil {
+			rep.Violation = &Violation{Desc: desc, Token: encodeToken(cfg, spec)}
+		}
+		return sc
+	}
+	prefix := []int{}
+	for rep.Executions < cfg.MaxExecutions {
+		sc := record(schedule{Kind: "prefix", Choices: prefix})
+		prefix = nextPrefix(sc.trace, cfg.Preemptions)
+		if prefix == nil {
+			rep.Exhausted = true
+			break
+		}
+	}
+	for i := 0; rep.Executions < cfg.MaxExecutions; i++ {
+		record(schedule{Kind: "walk", Seed: cfg.Seed + uint64(i)})
+	}
+	return outcomes, rep
+}

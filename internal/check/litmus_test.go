@@ -1,0 +1,164 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// litmusConfig is the enumeration configuration every litmus assertion in
+// this file uses. The outcome sets below were calibrated against it; both
+// enumeration phases are deterministic, so the sets are exact expectations,
+// not samples. Preemptions=3 was also calibrated and produced identical
+// sets everywhere, so the cheaper bound is pinned.
+func litmusConfig(program, scheme, mutation string) Config {
+	return Config{
+		Program:       program,
+		Scheme:        scheme,
+		Mutation:      mutation,
+		Threads:       2,
+		Ops:           1,
+		Preemptions:   2,
+		MaxExecutions: 2000,
+	}
+}
+
+// litmusSchemes is Schemes() plus the non-eliding single-global-lock
+// baseline, which the litmus shapes must also classify.
+func litmusSchemes() []string { return append(Schemes(), "SGL") }
+
+func sortedOutcomes(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func enumerate(t *testing.T, cfg Config) ([]string, Report) {
+	t.Helper()
+	outcomes, rep := EnumerateOutcomes(cfg)
+	if rep.Violation != nil {
+		t.Fatalf("%s/%s mut=%q: unexpected invariant violation: %s",
+			cfg.Program, cfg.Scheme, cfg.Mutation, rep.Violation.Desc)
+	}
+	return sortedOutcomes(outcomes), rep
+}
+
+// TestLitmusOutcomeSets pins the exact outcome set every unmutated scheme
+// produces on each litmus shape. The sets encode the memory-model
+// guarantees the schemes share:
+//
+//   - litmus-pub: message passing works — the reader may see nothing, the
+//     data without the flag, or both, but never the flag without the data
+//     ("y=1 x=0" is the forbidden publication reorder).
+//   - litmus-agg / litmus-susp: write sections commit as aggregates, so
+//     the reader only ever snapshots x=y — no torn states.
+//   - litmus-upd: concurrent read-modify-write sections never lose an
+//     update; the final count is always exactly 2.
+//
+// The DFS phase is expected to exhaust the bounded space for the
+// reader/writer shapes; litmus-upd's two long write paths exceed the
+// bounded-DFS budget under some schemes, so exhaustion is not asserted
+// there (the walk phase still supplies both serialization orders).
+func TestLitmusOutcomeSets(t *testing.T) {
+	want := map[string][]string{
+		"litmus-pub":  {"y=0 x=0", "y=0 x=1", "y=1 x=1"},
+		"litmus-agg":  {"x=0 y=0", "x=1 y=1"},
+		"litmus-susp": {"y=0 x=0", "y=1 x=1"},
+		"litmus-upd":  {"x=2"},
+	}
+	forbidden := map[string]string{
+		"litmus-pub":  "y=1 x=0",
+		"litmus-agg":  "x=1 y=0",
+		"litmus-susp": "y=1 x=0",
+		"litmus-upd":  "x=1",
+	}
+	for _, program := range LitmusPrograms() {
+		for _, scheme := range litmusSchemes() {
+			t.Run(fmt.Sprintf("%s/%s", program, scheme), func(t *testing.T) {
+				got, rep := enumerate(t, litmusConfig(program, scheme, ""))
+				if !reflect.DeepEqual(got, want[program]) {
+					t.Fatalf("outcome set %v, want %v", got, want[program])
+				}
+				for _, o := range got {
+					if o == forbidden[program] {
+						t.Fatalf("forbidden outcome %q observed", o)
+					}
+				}
+				if program != "litmus-upd" && !rep.Exhausted {
+					t.Fatalf("bounded DFS did not exhaust (%d executions)", rep.Executions)
+				}
+			})
+		}
+	}
+}
+
+// TestLitmusMutationsExpandOutcomes checks that the litmus shapes have
+// teeth: each checker-validation mutation, applied to the schemes whose
+// code path it weakens, makes a specific extra outcome reachable that the
+// unmutated scheme never produces (asserted exactly above).
+//
+//   - lose-doom-at-resume drops the doomed flag when a speculative reader
+//     resumes, so readers that overlapped a writer's suspended quiescence
+//     scan commit stale snapshots: torn reads on the aggregate shapes and
+//     a lost update when both incrementers run speculatively. RW-LE_PES
+//     is immune (its readers never suspend mid-section the same way), as
+//     are HLE (aborts instead of suspending), BRLock and SGL (no
+//     speculation at all).
+//   - skip-rot-quiesce removes the writer's wait for in-flight readers on
+//     the pessimistic scheme, which is exactly the window RW-LE_PES's
+//     correctness depends on; the optimistic schemes doom readers through
+//     conflict detection instead and stay clean.
+func TestLitmusMutationsExpandOutcomes(t *testing.T) {
+	cases := []struct {
+		program, scheme, mutation, extra string
+	}{
+		{"litmus-agg", "RW-LE_OPT", MutLoseDoomAtResume, "x=0 y=1"},
+		{"litmus-agg", "RW-LE_FAIR", MutLoseDoomAtResume, "x=0 y=1"},
+		{"litmus-agg", "RW-LE_SPLIT", MutLoseDoomAtResume, "x=0 y=1"},
+		{"litmus-agg", "RW-LE_PES", MutSkipROTQuiesce, "x=0 y=1"},
+		{"litmus-susp", "RW-LE_OPT", MutLoseDoomAtResume, "y=0 x=1"},
+		{"litmus-susp", "RW-LE_FAIR", MutLoseDoomAtResume, "y=0 x=1"},
+		{"litmus-susp", "RW-LE_SPLIT", MutLoseDoomAtResume, "y=0 x=1"},
+		{"litmus-susp", "RW-LE_PES", MutSkipROTQuiesce, "y=0 x=1"},
+		{"litmus-upd", "RW-LE_OPT", MutLoseDoomAtResume, "x=1"},
+		{"litmus-upd", "RW-LE_FAIR", MutLoseDoomAtResume, "x=1"},
+		{"litmus-upd", "RW-LE_SPLIT", MutLoseDoomAtResume, "x=1"},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s/%s/%s", tc.program, tc.scheme, tc.mutation), func(t *testing.T) {
+			outcomes, _ := EnumerateOutcomes(litmusConfig(tc.program, tc.scheme, tc.mutation))
+			if outcomes[tc.extra] == 0 {
+				t.Fatalf("mutation failed to surface outcome %q; observed %v",
+					tc.extra, sortedOutcomes(outcomes))
+			}
+		})
+	}
+}
+
+// TestLitmusMutationImmunity pins the negative space of the table above:
+// schemes whose design does not route through a mutation's weakened code
+// path keep their exact clean outcome set even with the mutation enabled.
+func TestLitmusMutationImmunity(t *testing.T) {
+	cases := []struct {
+		program, scheme, mutation string
+		want                      []string
+	}{
+		{"litmus-agg", "RW-LE_PES", MutLoseDoomAtResume, []string{"x=0 y=0", "x=1 y=1"}},
+		{"litmus-agg", "RW-LE_OPT", MutSkipROTQuiesce, []string{"x=0 y=0", "x=1 y=1"}},
+		{"litmus-agg", "HLE", MutLoseDoomAtResume, []string{"x=0 y=0", "x=1 y=1"}},
+		{"litmus-upd", "RW-LE_PES", MutLoseDoomAtResume, []string{"x=2"}},
+		{"litmus-upd", "BRLock", MutLoseDoomAtResume, []string{"x=2"}},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s/%s/%s", tc.program, tc.scheme, tc.mutation), func(t *testing.T) {
+			got, _ := enumerate(t, litmusConfig(tc.program, tc.scheme, tc.mutation))
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("outcome set %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

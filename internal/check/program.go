@@ -36,6 +36,11 @@ type runCtx struct {
 
 	violations []string
 
+	// outcome is the execution's observation label, set by litmus programs
+	// (see litmus.go); EnumerateOutcomes collects the set of labels the
+	// schedule space can produce.
+	outcome string
+
 	// record program state.
 	rec    []machine.Addr
 	wrotes []uint64
@@ -45,6 +50,11 @@ type runCtx struct {
 	seqA   machine.Addr
 	writes []writeRec
 	reads  []readRec
+
+	// litmus program state (litmus.go): two words on distinct cache lines
+	// and the reader's observed values.
+	litX, litY   machine.Addr
+	litR1, litR2 uint64
 }
 
 func (ctx *runCtx) violate(format string, args ...any) {
@@ -67,6 +77,9 @@ func programFor(name string) program {
 		return recordProgram()
 	case "hashmap":
 		return hashmapProgram()
+	}
+	if p, ok := litmusProgram(name); ok {
+		return p
 	}
 	panic("check: unknown program " + name)
 }

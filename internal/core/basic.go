@@ -119,11 +119,5 @@ func (l *Basic) synchronize(t *htm.Thread) {
 // spinAcquireWord acquires a test-and-test-and-set spin lock at word a.
 // (Duplicated from internal/locks to avoid an import cycle.)
 func spinAcquireWord(t *htm.Thread, a machine.Addr) {
-	var b spinBackoff
-	for {
-		if t.Load(a) == 0 && t.CAS(a, 0, 1) {
-			return
-		}
-		b.wait(t)
-	}
+	t.AwaitAcquire(a, 8)
 }

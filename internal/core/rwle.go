@@ -124,6 +124,12 @@ type RWLE struct {
 	snaps [][]uint64
 	// adapt, when Options.Adaptive is set, tunes the HTM budget.
 	adapt *adaptiveController
+
+	// acqWaits[i] and syncWaits[i] are thread i's reusable engine-stepped
+	// waiters for lock acquisition and quiescence scans — host-side state,
+	// owned by the running thread like nesting and snaps.
+	acqWaits  []acqWait
+	syncWaits []syncWait
 }
 
 // nestState tracks one thread's lock recursion.
@@ -164,6 +170,8 @@ func New(sys *htm.System, opts Options) *RWLE {
 	if opts.Adaptive {
 		l.adapt = newAdaptiveController()
 	}
+	l.acqWaits = make([]acqWait, l.nthreads)
+	l.syncWaits = make([]syncWait, l.nthreads)
 	return l
 }
 
@@ -250,18 +258,10 @@ func (l *RWLE) readLockFair(t *htm.Thread) {
 	}
 	// Wait for the current owner to release or hand over; readers that
 	// entered before a writer's version bump are waited for by that
-	// writer, so entering afterwards is safe.
-	poll := 1
-	for {
-		v2 := t.Load(l.wlock)
-		if state(v2) != lockNS || version(v2) != version(v) {
-			return
-		}
-		t.C.SpinFor(poll)
-		if poll < 8 {
-			poll *= 2
-		}
-	}
+	// writer, so entering afterwards is safe. The lock word holds nothing
+	// but version and state, so "same state and same version" is exactly
+	// "word still equals v".
+	t.AwaitWord(l.wlock, ^uint64(0), v, false, 8)
 }
 
 // Write executes cs as a write-side critical section, attempting the HTM,
@@ -353,10 +353,7 @@ func (l *RWLE) recordAdapt(htmTried, htmWon bool) {
 // quiesce readers, resume, commit (paper lines 41-46 and 68-72).
 func (l *RWLE) writeHTM(t *htm.Thread, cs func()) htm.Status {
 	// Let non-HTM writers finish before starting speculation (line 42).
-	var b spinBackoff
-	for state(t.Load(l.wlock)) != lockFree {
-		b.wait(t)
-	}
+	t.AwaitWordBackoff(l.wlock, stateMask, lockFree, true, 0, 8)
 	return t.Try(false, func() {
 		if state(t.Load(l.wlock)) != lockFree { // subscribe (line 44)
 			t.Abort(stats.AbortLockBusy)
@@ -426,32 +423,53 @@ func (l *RWLE) writeNS(t *htm.Thread, cs func()) {
 
 // acquire spins until it installs `to` in the state bits of the lock word,
 // bumping the version, and returns the new version (the fair variant uses
-// it to skip readers that entered later; others carry it harmlessly).
+// it to skip readers that entered later; others carry it harmlessly). The
+// loop runs as an engine-stepped wait.
 func (l *RWLE) acquire(t *htm.Thread, word machine.Addr, to uint64) uint64 {
-	var b spinBackoff
-	for {
-		v := t.Load(word)
-		if state(v) == lockFree {
-			next := version(v) + 1
-			if t.CAS(word, v, next<<verShift|to) {
-				return next
-			}
-		}
-		b.wait(t)
-	}
+	w := &l.acqWaits[t.C.ID]
+	*w = acqWait{t: t, word: word, to: to}
+	t.C.Await(w)
+	return w.ver
 }
 
-// spinBackoff is a bounded randomized exponential backoff for contended
-// acquisition loops; without it a cohort of deterministic spinners can
-// systematically exclude one contender (see internal/locks for the same
-// pattern).
-type spinBackoff struct{ shift uint }
+// acqWait is the version-bumping lock acquisition as a waiter: the load and
+// the CAS of one attempt are separate steps, with bounded randomized
+// exponential backoff after a busy load or a lost CAS — without the
+// randomization a cohort of deterministic spinners can systematically
+// exclude one contender (see internal/locks for the same pattern).
+type acqWait struct {
+	t      *htm.Thread
+	word   machine.Addr
+	to     uint64
+	v      uint64 // value observed free, the CAS's expected operand
+	ver    uint64 // result: the version installed
+	casing bool
+	shift  uint
+}
 
-func (b *spinBackoff) wait(t *htm.Thread) {
-	t.C.SpinFor(1 + t.C.Intn(1<<b.shift))
-	if b.shift < 8 {
-		b.shift++
+// Step implements machine.Waiter.
+func (w *acqWait) Step(c *machine.CPU) bool {
+	t := w.t
+	if w.casing {
+		w.casing = false
+		next := version(w.v) + 1
+		if t.CAS(w.word, w.v, next<<verShift|w.to) {
+			w.ver = next
+			return true
+		}
+	} else {
+		v := t.Load(w.word)
+		if state(v) == lockFree {
+			w.v = v
+			w.casing = true
+			return false
+		}
 	}
+	c.SpinFor(1 + c.Intn(1<<w.shift))
+	if w.shift < 8 {
+		w.shift++
+	}
+	return false
 }
 
 // noVerFilter disables version filtering in synchronize: every in-flight
@@ -498,25 +516,11 @@ func (l *RWLE) synchronize(t *htm.Thread, singlePass bool, myVer uint64) {
 			if snap[i]&1 == 0 {
 				continue
 			}
-			poll := 1
-			for t.Load(l.clockAddr(i)) == snap[i] {
-				// Version filter (fair variant), re-checked every
-				// iteration: a reader that published a version at or
-				// after ours is either blocked on our lock or entered
-				// later and is covered by conflict detection — but its
-				// publication may race with our clock sample, so a
-				// one-shot check before the loop would deadlock with a
-				// reader that is waiting for us to release.
-				if myVer != noVerFilter && !l.readerIsOlder(t, i, myVer) {
-					break
-				}
-				if l.doomedEarly(t) {
-					return
-				}
-				t.C.SpinFor(poll)
-				if poll < 16 {
-					poll *= 2
-				}
+			w := &l.syncWaits[t.C.ID]
+			*w = syncWait{l: l, t: t, i: i, snap: snap[i], myVer: myVer, poll: 1, pollCap: 16, checkDoom: l.opts.EarlyAbort}
+			t.C.Await(w)
+			if w.doomed {
+				return
 			}
 		}
 	}
@@ -529,19 +533,83 @@ func (l *RWLE) waitReader(t *htm.Thread, i int, myVer uint64) {
 	if c&1 == 0 {
 		return
 	}
-	poll := 1
-	for t.Load(l.clockAddr(i)) == c {
-		// See synchronize: the version filter must be re-evaluated inside
-		// the loop or a reader racing its version publication against our
-		// scan would deadlock with us.
-		if myVer != noVerFilter && !l.readerIsOlder(t, i, myVer) {
-			return
+	w := &l.syncWaits[t.C.ID]
+	*w = syncWait{l: l, t: t, i: i, snap: c, myVer: myVer, poll: 1, pollCap: 32}
+	t.C.Await(w)
+}
+
+// syncWait phases; each phase is one waiter step, mirroring one
+// inter-Sync quantum of the open-coded loop.
+const (
+	syncPhaseClock = iota // poll reader i's clock
+	syncPhaseVer          // fair variant: re-evaluate the version filter
+	syncPhaseDoom         // EarlyAbort: tcheck the suspended speculation
+)
+
+// syncWait waits for reader i to leave the read section it was in when its
+// clock was sampled as snap. The clock poll, the (fair-variant) version
+// filter's load, and the EarlyAbort doom check are separate steps, exactly
+// as they are separate scheduling points in the open-coded loop: the
+// version filter must be re-evaluated every iteration (a reader racing its
+// version publication against our clock sample would otherwise deadlock
+// with us), and `Doomed` is specified to synchronize with the scheduler
+// before sampling the flag — inside a step that Sync is a no-op, so the
+// step boundary before syncPhaseDoom supplies the synchronization instead.
+// A doomed tcheck sets doomed, telling synchronize to stop draining
+// readers entirely. checkDoom gates the doom phase on Options.EarlyAbort;
+// the Suspended() test rides in the step because doomedEarly
+// short-circuits (no tcheck, hence no extra scheduling point) on the
+// non-suspending paths.
+type syncWait struct {
+	l         *RWLE
+	t         *htm.Thread
+	i         int
+	snap      uint64
+	myVer     uint64
+	poll      int
+	pollCap   int
+	checkDoom bool
+	phase     int
+	doomed    bool
+}
+
+// Step implements machine.Waiter.
+func (w *syncWait) Step(c *machine.CPU) bool {
+	t, l := w.t, w.l
+	switch w.phase {
+	case syncPhaseClock:
+		if t.Load(l.clockAddr(w.i)) != w.snap {
+			return true
 		}
-		t.C.SpinFor(poll)
-		if poll < 32 {
-			poll *= 2
+		if w.myVer != noVerFilter {
+			w.phase = syncPhaseVer
+			return false
 		}
+		if w.checkDoom && t.Suspended() {
+			w.phase = syncPhaseDoom
+			return false
+		}
+	case syncPhaseVer:
+		if !l.readerIsOlder(t, w.i, w.myVer) {
+			return true
+		}
+		if w.checkDoom && t.Suspended() {
+			w.phase = syncPhaseDoom
+			return false
+		}
+		w.phase = syncPhaseClock
+	case syncPhaseDoom:
+		if l.doomedEarly(t) {
+			w.doomed = true
+			return true
+		}
+		w.phase = syncPhaseClock
 	}
+	c.SpinFor(w.poll)
+	if w.poll < w.pollCap {
+		w.poll *= 2
+	}
+	return false
 }
 
 // readerIsOlder reports whether reader i entered under a version strictly

@@ -154,6 +154,13 @@ func RunBench(workers int, baselinePath string, progress io.Writer) (*BenchRepor
 		if err != nil {
 			logf("bench: no baseline comparison (%v)\n", err)
 		} else {
+			if base.SimCycles != rep.SimCycles {
+				// A wall-clock comparison between engines is only honest if
+				// both simulated the identical workload: any sim_cycles
+				// drift means semantics changed, not just speed.
+				return nil, fmt.Errorf("bench: sim_cycles diverged from baseline %s: got %d, want %d (simulation semantics changed — fix the regression or record a new baseline)",
+					baselinePath, rep.SimCycles, base.SimCycles)
+			}
 			rep.BaselineFile = baselinePath
 			rep.SerialSpeedupVsBaseline = base.SerialWallSec / rep.SerialWallSec
 			rep.TotalSpeedupVsBaseline = base.SerialWallSec / rep.ParallelWallSec

@@ -173,6 +173,12 @@ type Thread struct {
 	// sig is the reusable panic payload for abort; aborting with a pointer
 	// to it avoids boxing an interface value on every abort.
 	sig abortSignal
+
+	// ww and tas are the reusable engine-stepped waiters of wait.go; a
+	// thread runs at most one wait at a time, so one of each suffices and
+	// installing them in the machine never allocates.
+	ww  wordWait
+	tas tatasWait
 }
 
 func newThread(s *System, c *machine.CPU) *Thread {

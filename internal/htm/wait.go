@@ -1,0 +1,119 @@
+package htm
+
+import "hrwle/internal/machine"
+
+// This file provides the shared wait-loop shapes of the lock layers as
+// machine.Waiter state machines, so contended spin waits are stepped by the
+// scheduler loop instead of round-tripping through a coroutine per poll.
+// Each Step performs exactly the visible accesses, clock advances and rng
+// draws of one iteration of the open-coded loop it replaces — split into
+// one visible access per step — so results and event streams are
+// bit-identical. The waiter values live on the Thread and are reused; a
+// thread runs at most one wait at a time, and a Step never starts another.
+
+// spinWait is the private inter-poll delay of a wait: an escalating
+// deterministic poll (the quiescence-scan idiom) or bounded randomized
+// exponential backoff (the contended-acquisition idiom).
+type spinWait struct {
+	poll     int
+	pollCap  int
+	random   bool
+	shift    uint
+	shiftCap uint
+}
+
+func (s *spinWait) wait(c *machine.CPU) {
+	if s.random {
+		c.SpinFor(1 + c.Intn(1<<s.shift))
+		if s.shift < s.shiftCap {
+			s.shift++
+		}
+		return
+	}
+	c.SpinFor(s.poll)
+	if s.poll < s.pollCap {
+		s.poll *= 2
+	}
+}
+
+// wordWait polls one word until (Load(a)&mask == want) matches exitEq.
+type wordWait struct {
+	t      *Thread
+	a      machine.Addr
+	mask   uint64
+	want   uint64
+	exitEq bool
+	spin   spinWait
+}
+
+// Step implements machine.Waiter: one load, then a private spin.
+func (w *wordWait) Step(c *machine.CPU) bool {
+	if (w.t.Load(w.a)&w.mask == w.want) == w.exitEq {
+		return true
+	}
+	w.spin.wait(c)
+	return false
+}
+
+// AwaitWord parks the calling CPU until Load(a)&mask compares to want as
+// exitEq requests, polling with exponential escalation up to pollCap
+// cycles per poll.
+func (t *Thread) AwaitWord(a machine.Addr, mask, want uint64, exitEq bool, pollCap int) {
+	w := &t.ww
+	*w = wordWait{t: t, a: a, mask: mask, want: want, exitEq: exitEq,
+		spin: spinWait{poll: 1, pollCap: pollCap}}
+	t.C.Await(w)
+}
+
+// AwaitWordBackoff is AwaitWord with randomized exponential backoff between
+// polls. It takes and returns the backoff shift so call sites whose backoff
+// state outlives one wait (HLE's retry loop) can carry it across calls.
+func (t *Thread) AwaitWordBackoff(a machine.Addr, mask, want uint64, exitEq bool, shift, shiftCap uint) uint {
+	w := &t.ww
+	*w = wordWait{t: t, a: a, mask: mask, want: want, exitEq: exitEq,
+		spin: spinWait{random: true, shift: shift, shiftCap: shiftCap}}
+	t.C.Await(w)
+	return w.spin.shift
+}
+
+// tatasWait acquires a test-and-test-and-set word lock: load until the word
+// reads 0, then CAS it to 1, backing off after a busy load or a lost CAS.
+type tatasWait struct {
+	t      *Thread
+	a      machine.Addr
+	casing bool
+	spin   spinWait
+}
+
+// Step implements machine.Waiter: the load and the CAS of one acquisition
+// attempt are separate steps, exactly as they are separate scheduling
+// points in the open-coded loop.
+func (w *tatasWait) Step(c *machine.CPU) bool {
+	if w.casing {
+		w.casing = false
+		if w.t.CAS(w.a, 0, 1) {
+			return true
+		}
+	} else if w.t.Load(w.a) == 0 {
+		w.casing = true
+		return false
+	}
+	w.spin.wait(c)
+	return false
+}
+
+// AwaitAcquire acquires a TATAS word lock with randomized exponential
+// backoff bounded by shiftCap (the internal/locks spin-lock idiom).
+func (t *Thread) AwaitAcquire(a machine.Addr, shiftCap uint) {
+	w := &t.tas
+	*w = tatasWait{t: t, a: a, spin: spinWait{random: true, shiftCap: shiftCap}}
+	t.C.Await(w)
+}
+
+// AwaitAcquirePoll acquires a TATAS word lock with escalating deterministic
+// polls bounded by pollCap (the rcu/kyoto mutex idiom).
+func (t *Thread) AwaitAcquirePoll(a machine.Addr, pollCap int) {
+	w := &t.tas
+	*w = tatasWait{t: t, a: a, spin: spinWait{poll: 1, pollCap: pollCap}}
+	t.C.Await(w)
+}

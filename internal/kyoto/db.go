@@ -172,16 +172,7 @@ func (db *DB) lockSlot(t *htm.Thread, s int64, pol InnerPolicy) {
 		}
 		return
 	}
-	poll := 1
-	for {
-		if t.Load(mu) == 0 && t.CAS(mu, 0, 1) {
-			return
-		}
-		t.C.SpinFor(poll)
-		if poll < 64 {
-			poll *= 2
-		}
-	}
+	t.AwaitAcquirePoll(mu, 64)
 }
 
 // unlockSlot releases the inner mutex (no-op when elided).

@@ -35,15 +35,10 @@ func (b *backoff) wait(t *htm.Thread) {
 }
 
 // spinAcquire acquires a test-and-test-and-set spin lock at word a with
-// randomized exponential backoff.
+// randomized exponential backoff. The loop runs as an engine-stepped wait,
+// so a contended acquisition costs no coroutine switches per poll.
 func spinAcquire(t *htm.Thread, a machine.Addr) {
-	var b backoff
-	for {
-		if t.Load(a) == free && t.CAS(a, free, locked) {
-			return
-		}
-		b.wait(t)
-	}
+	t.AwaitAcquire(a, 8)
 }
 
 func spinRelease(t *htm.Thread, a machine.Addr) { t.Store(a, free) }
@@ -231,10 +226,9 @@ func (l *HLE) elide(t *htm.Thread, cs func()) {
 	var b backoff
 	for attempt := 0; attempt < l.maxRetries; attempt++ {
 		// Wait for the lock to be free before speculating; starting while
-		// it is held guarantees an immediate self-abort.
-		for t.Load(l.lock) != free {
-			b.wait(t)
-		}
+		// it is held guarantees an immediate self-abort. The backoff shift
+		// persists across retry attempts, as it did when b was spun inline.
+		b.shift = t.AwaitWordBackoff(l.lock, ^uint64(0), free, true, b.shift, 8)
 		st := t.Try(false, func() {
 			if t.Load(l.lock) != free { // subscribe the elided lock
 				t.Abort(stats.AbortLockBusy)

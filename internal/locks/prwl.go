@@ -25,6 +25,10 @@ type PRWL struct {
 	statuses machine.Addr // per-thread {active, seenVersion} lines
 	n        int
 	lineW    machine.Addr
+
+	// waits[i] is thread i's reusable consensus waiter (host-side state,
+	// owned by the running thread like RWLE's scratch buffers).
+	waits []prwlWait
 }
 
 // Per-thread status line layout.
@@ -45,7 +49,42 @@ func NewPRWL(sys *htm.System) *PRWL {
 		statuses: m.AllocRawAligned(int64(n) * m.Cfg.LineWords),
 		n:        n,
 		lineW:    machine.Addr(m.Cfg.LineWords),
+		waits:    make([]prwlWait, n),
 	}
+}
+
+// prwlWait is the writer's per-reader consensus wait as an engine-stepped
+// state machine: the streamed active load and the seen-version load of one
+// iteration are separate steps, exactly as they are separate scheduling
+// points in the open-coded loop; the escalating poll follows a seen-version
+// miss, as it did there.
+type prwlWait struct {
+	t         *htm.Thread
+	active    machine.Addr
+	seen      machine.Addr
+	ver       uint64
+	seenPhase bool
+	poll      int
+}
+
+// Step implements machine.Waiter.
+func (w *prwlWait) Step(c *machine.CPU) bool {
+	if w.seenPhase {
+		w.seenPhase = false
+		if w.t.Load(w.seen) >= w.ver {
+			return true
+		}
+		c.SpinFor(w.poll)
+		if w.poll < 16 {
+			w.poll *= 2
+		}
+		return false
+	}
+	if w.t.LoadStream(w.active) != 1 {
+		return true
+	}
+	w.seenPhase = true
+	return false
 }
 
 // Name implements rwlock.Lock.
@@ -96,14 +135,9 @@ func (l *PRWL) Write(t *htm.Thread, cs func()) {
 		if i == t.C.ID {
 			continue
 		}
-		st := l.status(i)
-		poll := 1
-		for t.LoadStream(st+prwlActive) == 1 && t.Load(st+prwlSeen) < ver {
-			t.C.SpinFor(poll)
-			if poll < 16 {
-				poll *= 2
-			}
-		}
+		w := &l.waits[t.C.ID]
+		*w = prwlWait{t: t, active: l.status(i) + prwlActive, seen: l.status(i) + prwlSeen, ver: ver, poll: 1}
+		t.C.Await(w)
 	}
 	cs()
 	t.Store(l.wactive, 0)

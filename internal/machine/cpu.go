@@ -1,6 +1,9 @@
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"iter"
+)
 
 // Counters aggregates per-CPU machine-level event counts for one Run.
 type Counters struct {
@@ -12,18 +15,42 @@ type Counters struct {
 	Interrupts int64
 }
 
-// CPU is one simulated hardware thread. All methods must be called from the
-// goroutine running this CPU's body (see Machine.Run); the scheduler
-// guarantees that only one CPU executes at a time.
+// CPU is one simulated hardware thread. All methods must be called from
+// inside this CPU's body (see Machine.Run); the scheduler loop guarantees
+// that only one CPU executes at a time.
 type CPU struct {
 	m   *Machine
 	ID  int
 	now int64
 
-	token   chan struct{}
+	// resume/stop/yield are the coroutine in which this CPU's body runs
+	// for the current Run: the scheduler loop calls resume to give the CPU
+	// the floor, Sync calls yield to park and hand control back, and stop
+	// tears a still-parked coroutine down (abnormal exits only).
+	resume  func() (struct{}, bool)
+	stop    func()
+	yield   func(struct{}) bool
 	heapIdx int
 	rng     rng
 	fast    bool
+
+	// wake is this CPU's fast-path scheduling threshold: Sync keeps the
+	// floor without any heap work while the CPU's packed (time, ID) key
+	// stays below it. The scheduler loop refreshes it on every resume
+	// under the default scheduler (see Machine.refreshWake); it is pinned
+	// to minWake — forcing every Sync through syncSlow — under controlled
+	// schedulers, which must observe every scheduling point. idKey is the
+	// CPU's constant contribution to the packed key.
+	wake  int64
+	idKey int64
+
+	// waiter, when non-nil, is the engine-stepped wait this CPU is parked
+	// in: the scheduler loop (or a running CPU's syncSlow) calls its Step
+	// at each of this CPU's turns instead of resuming the coroutine. See
+	// Await. stepErr carries a panic raised inside an engine-side step
+	// back onto this CPU's own stack, where Await re-raises it.
+	waiter  Waiter
+	stepErr any
 
 	tlb           []int64
 	nextInterrupt int64
@@ -40,21 +67,83 @@ type CPU struct {
 	Counters Counters
 }
 
-// newCPU builds one CPU and its token slot.
-//
-//simlint:allow determinism the token channel is the engine's handoff primitive: capacity one, exactly one token in flight, recipients chosen by the virtual-time heap
+// newCPU builds one CPU.
 func newCPU(m *Machine, id int) *CPU {
-	c := &CPU{
-		m:       m,
-		ID:      id,
-		token:   make(chan struct{}, 1),
-		heapIdx: -1,
+	return &CPU{m: m, ID: id, heapIdx: -1, idKey: int64(id)}
+}
+
+// Scheduling keys pack a CPU's (virtual time, ID) pair into one int64 —
+// now<<clockIDBits | ID — so the Sync fast path is a single comparison.
+// MaxCPUs = 128 makes the ID field exactly clockIDBits wide, and virtual
+// clocks stay far below 2^56 cycles (the deadline caps them at 1e14), so
+// the shift cannot overflow.
+const clockIDBits = 7
+
+// minWake is a wake threshold below every valid key: it forces the next
+// Sync through syncSlow.
+const minWake = -1 << 62
+
+// maxWake is a wake threshold above every valid key: it disables parking
+// entirely, which is how Waiter steps run their single visible action
+// without handing the floor away mid-step.
+const maxWake = 1<<63 - 1
+
+// runStopped is the panic payload Sync uses to unwind a body whose
+// coroutine is being torn down (release after an abnormal Run exit). The
+// seq root swallows exactly this value; everything else — including the
+// HTM abort signal, which htm.Thread.Try always consumes inside the body —
+// propagates to the scheduler loop unchanged.
+type runStoppedSignal struct{}
+
+var runStopped any = runStoppedSignal{}
+
+// spawn creates the coroutine in which this CPU's body will run. The body
+// does not start executing until the scheduler loop's first resume.
+//
+// A panic unwinding out of the body is captured here, at the coroutine's
+// root, and recorded in the machine's runErr (first one wins); the
+// coroutine then finishes normally so the scheduler loop can run the
+// remaining CPUs to completion before Run re-raises it. Capturing at the
+// root rather than around every resume keeps the per-handoff path free of
+// defer/recover setup.
+//
+//simlint:allow abortflow the seq-root recover records CPU-body panics in runErr for Run to re-panic verbatim after the loop drains; an HTM abort signal can never reach it (htm.Thread.Try consumes it inside the body), and the engine's own teardown sentinel is deliberately swallowed
+func (c *CPU) spawn(body func(*CPU)) {
+	c.resume, c.stop = iter.Pull(func(yield func(struct{}) bool) {
+		c.yield = yield
+		defer func() {
+			c.yield = nil
+			if r := recover(); r != nil && r != runStopped && c.m.runErr == nil {
+				c.m.runErr = r
+			}
+		}()
+		body(c)
+	})
+}
+
+// park returns control to the scheduler loop and blocks until this CPU is
+// resumed. If the coroutine is being torn down instead, it unwinds the
+// body with the teardown sentinel.
+func (c *CPU) park() {
+	if !c.yield(struct{}{}) {
+		panic(runStopped)
 	}
-	return c
+}
+
+// release tears down this CPU's coroutine after a Run. It is a no-op for
+// coroutines whose bodies already finished (the normal case).
+func (c *CPU) release() {
+	if c.stop != nil {
+		c.stop()
+		c.stop, c.resume = nil, nil
+	}
 }
 
 func (c *CPU) beginRun(base int64) {
 	c.now = base
+	c.wake = minWake
+	c.waiter = nil
+	c.stepErr = nil
 	c.rng = newRNG(c.m.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(c.ID)*0xbf58476d1ce4e5b9 + 1)
 	c.Counters = Counters{}
 	if len(c.tlb) != c.m.Cfg.Paging.TLBEntries {
@@ -105,30 +194,66 @@ func (c *CPU) Work(n int64) { c.now += n * c.m.Cfg.Costs.Work }
 // globally visible action must happen between a Sync and the next clock
 // advance so that actions are linearized in virtual-time order.
 //
-//simlint:allow determinism the token receive parks this goroutine until the deterministic scheduler hands it the token; it is the engine's one blessed channel receive
+// The fast path — all other runnable CPUs are parked with frozen clocks,
+// so this CPU keeps the floor iff it is still (time, ID)-ahead of the
+// cached best of them — is small enough to inline into the access
+// functions; everything else lives in syncSlow. The wake threshold is
+// clamped to the deadline (see refreshWake), so the livelock check also
+// rides on the same comparison.
 func (c *CPU) Sync() {
+	if c.now<<clockIDBits|c.idKey < c.wake {
+		return
+	}
+	c.syncSlow()
+}
+
+// syncSlow is Sync off the fast path: this CPU is no longer the minimum
+// (or a controlled scheduler is installed, which must see every scheduling
+// point), so repair the heap, pick a successor and park. The heap is
+// repaired lazily here rather than at every clock advance; parked CPUs'
+// clocks are frozen, so only this CPU's position can be stale.
+func (c *CPU) syncSlow() {
 	if c.fast {
+		// Setup-mode accesses land here whenever the stale wake threshold
+		// fails the comparison; scheduling is a no-op in fast mode.
 		return
 	}
 	m := c.m
 	if c.now > m.Cfg.Deadline {
 		panic(fmt.Sprintf("machine: CPU %d exceeded virtual deadline (%d cycles): livelock?", c.ID, m.Cfg.Deadline))
 	}
-	// Fast path: all other runnable CPUs are blocked with frozen clocks, so
-	// this CPU keeps the token iff it is still (time, ID)-ahead of the
-	// cached best of them. No heap access needed; the heap is repaired
-	// lazily on the next token handoff. Controlled schedulers must see
-	// every scheduling point, so they always take the slow path.
-	if m.sched == nil && (c.now < m.wakeTime || (c.now == m.wakeTime && c.ID < m.wakeID)) {
-		return
+	if m.sched == nil {
+		// The fast-path test failing means another runnable CPU is
+		// strictly (time, ID)-ahead, so after the heap repair the minimum
+		// cannot be this CPU. If the CPUs due before us are engine-stepped
+		// waiters, run their steps right here — no coroutine switch — and
+		// re-check; park only when a CPU that needs its own stack (or a
+		// waiter whose wait just completed) is due.
+		m.heap.fix(c)
+		for {
+			next := m.heap.min()
+			if next == c {
+				// Every CPU that was due was a waiter we stepped past
+				// us: we are the minimum again and keep the floor.
+				m.refreshWake(c)
+				return
+			}
+			if next.waiter != nil && !m.stepWaiter(next) {
+				m.heap.fix(next)
+				continue
+			}
+			m.next = next
+			c.park()
+			return
+		}
 	}
 	m.heap.fix(c)
 	next := m.pickNext(c)
 	if next == c {
 		return
 	}
-	m.grantToken(next)
-	<-c.token
+	m.next = next
+	c.park()
 }
 
 // Spin charges one spin-loop iteration (plus seeded jitter — see
@@ -154,12 +279,86 @@ func (c *CPU) SpinFor(n int) {
 	c.Sync()
 }
 
+// Waiter is a resumable wait executed by the scheduler loop on behalf of
+// a parked CPU — the spin-wait loops of the lock layers expressed as small
+// state machines instead of loops on a coroutine stack. Step runs at the
+// CPU's scheduling turn and must perform AT MOST ONE globally visible
+// action (one timed memory access) plus any private work (clock advances,
+// rng draws, local predicate evaluation); it returns true when the wait is
+// over. Because a step is the unit of scheduling, everything inside it is
+// atomic in virtual time — which is exactly the atomicity the open-coded
+// loop had between one access's Sync and the next, so results and event
+// streams are bit-identical to running the same code on the coroutine.
+//
+// A Step may panic (e.g. an HTM load that dooms-and-aborts its own
+// transaction); the panic is re-raised from Await on the waiting CPU's own
+// stack, exactly where the open-coded loop would have raised it.
+type Waiter interface {
+	Step(c *CPU) bool
+}
+
+// Await runs w to completion at this CPU's scheduling turns. While the CPU
+// stays the minimum, steps run inline right here; once another CPU is due,
+// the CPU parks with the waiter installed and the engine steps it from the
+// scheduler loop — no coroutine switches — until a step reports the wait
+// is over. A long poll loop therefore costs two host context switches in
+// total instead of two per iteration.
+//
+// Fast mode has no scheduling, and controlled schedulers must observe
+// every scheduling point with the same choice sets as the open-coded loop,
+// so both run the steps on this coroutine with Sync behaving normally.
+func (c *CPU) Await(w Waiter) {
+	m := c.m
+	if c.fast || m.sched != nil {
+		for !w.Step(c) {
+		}
+		return
+	}
+	c.Sync()
+	// We hold the floor: parking is disabled during a step, so each step
+	// performs its single visible action at exactly the virtual time the
+	// open-coded loop would have. The saved threshold stays valid while
+	// we run — every other runnable CPU's clock is frozen.
+	saved := c.wake
+	c.wake = maxWake
+	//simlint:allow abortflow a step may abort its own transaction (a quiescence-scan load dooming the enclosing ROT); the recover restores the wake threshold the panic would otherwise skip past, then re-panics verbatim for htm.Thread.Try
+	defer func() {
+		if r := recover(); r != nil {
+			c.wake = saved
+			panic(r)
+		}
+	}()
+	for {
+		if w.Step(c) {
+			c.wake = saved
+			return
+		}
+		if c.now<<clockIDBits|c.idKey < saved {
+			continue
+		}
+		break
+	}
+	c.waiter = w
+	m.heap.fix(c)
+	m.next = m.heap.min()
+	c.park()
+	if r := c.stepErr; r != nil {
+		c.stepErr = nil
+		panic(r)
+	}
+}
+
 // preAccess delivers any pending timer interrupt and walks the TLB/page
 // tables for address a. It may invoke the OnInterrupt/OnPageFault hooks.
 func (c *CPU) preAccess(a Addr) {
-	if c.fast {
-		return
+	if !c.fast && (c.now >= c.nextInterrupt || c.m.pager.enabled) {
+		c.preAccessSlow(a)
 	}
+}
+
+// preAccessSlow handles the non-trivial preAccess cases: a due timer
+// interrupt, or any access while paging is enabled (TLB and page walks).
+func (c *CPU) preAccessSlow(a Addr) {
 	if c.now >= c.nextInterrupt {
 		c.now += c.m.Cfg.Costs.Interrupt
 		c.Counters.Interrupts++

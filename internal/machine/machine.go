@@ -3,12 +3,16 @@
 // this repository — a software POWER8-style HTM, the RW-LE lock-elision
 // algorithm, the baseline locks, and the benchmark applications — executes.
 //
-// Each simulated hardware thread (CPU) runs as a goroutine, but exactly one
-// CPU executes at any moment: a token is passed between goroutines so that
-// the CPU with the smallest virtual clock always runs next. All shared
-// simulator state is therefore mutated race-free and every run is
-// bit-for-bit reproducible from its seed, regardless of how many physical
-// cores the host has.
+// Each simulated hardware thread (CPU) runs as a resumable coroutine
+// driven by one inline scheduler loop on the caller's goroutine (Run).
+// Exactly one CPU executes at any moment: when a CPU's virtual clock
+// passes another runnable CPU's, it parks itself and the loop resumes the
+// CPU with the smallest (time, ID). A park/resume is a direct coroutine
+// switch (iter.Pull), not a channel handoff through the runtime scheduler,
+// which is what makes the simulator's innermost loop cheap. All shared
+// simulator state is mutated from whichever coroutine holds the floor, so
+// every run is race-free and bit-for-bit reproducible from its seed,
+// regardless of how many physical cores the host has.
 //
 // The simulator models the parts of the memory system that synchronization
 // performance depends on:
@@ -142,16 +146,9 @@ type Machine struct {
 
 	schedScratch []*CPU
 
-	// wakeTime/wakeID cache the scheduling threshold for the CPU that
-	// currently holds the execution token: the smallest (virtual time, ID)
-	// among all *other* runnable CPUs. While one CPU runs, every other
-	// runnable CPU is blocked on its token channel with a frozen clock, so
-	// the cache stays valid until the next token grant. Sync uses it to
-	// answer "am I still the minimum?" with one comparison instead of a
-	// heap fix + pick. Only maintained under the default scheduler
-	// (sched == nil); controlled schedulers take the slow path always.
-	wakeTime int64
-	wakeID   int
+	// next is the successor chosen by the parking CPU's Sync, read by the
+	// scheduler loop right after the park returns control to it.
+	next *CPU
 
 	runErr any
 	//simlint:allow determinism runOnce serializes whole Run invocations from the host side; it never orders simulated events
@@ -225,8 +222,16 @@ func (m *Machine) Setup(body func(*CPU)) {
 // finished, minus the start time). Virtual time is monotonic across
 // successive Runs on the same machine.
 //
-//simlint:allow determinism this is the virtual-time token-passing engine itself: exactly one goroutine holds the token at any instant, so host scheduling never orders simulated events
-//simlint:allow abortflow the worker recover propagates CPU-body panics across the join; the pooled abort signal never reaches it (htm.Thread.Try consumes it inside the body) and runErr is re-panicked verbatim after wg.Wait
+// Run is the inline scheduler loop: it resumes one CPU coroutine at a
+// time, always the scheduler's choice (minimum (time, ID) by default, the
+// controlled Scheduler's pick otherwise). A resumed CPU executes until its
+// Sync parks it — having first recorded its successor in m.next — or until
+// its body returns or panics. A body panic is captured at the coroutine
+// root (see spawn), recorded in runErr, and re-raised here once the
+// remaining CPUs have run to completion, exactly as the previous
+// goroutine-per-CPU engine behaved.
+//
+//simlint:allow determinism the runOnce mutex only rejects concurrent host callers of Run on one machine; all simulated events run on this single goroutine, ordered by the virtual-time heap, so host scheduling never orders them
 func (m *Machine) Run(threads int, body func(*CPU)) int64 {
 	if threads <= 0 || threads > len(m.cpus) {
 		panic(fmt.Sprintf("machine: Run with %d threads (have %d CPUs)", threads, len(m.cpus)))
@@ -238,34 +243,51 @@ func (m *Machine) Run(threads int, body func(*CPU)) int64 {
 	m.baseTime = base
 	m.heap = cpuHeap{}
 	m.runErr = nil
-	done := make(chan struct{})
-	var wg sync.WaitGroup
 
 	active := m.cpus[:threads]
 	for _, c := range active {
 		c.beginRun(base)
 		m.heap.push(c)
+		c.spawn(body)
 	}
-	for _, c := range active {
-		wg.Add(1)
-		go func(c *CPU) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if m.runErr == nil {
-						m.runErr = r
-					}
-				}
-				m.finishCPU(c, done)
-			}()
-			<-c.token
-			body(c)
-		}(c)
+	// Release still-parked coroutines if the loop exits abnormally (e.g. a
+	// controlled scheduler violating its contract); on a normal exit every
+	// coroutine has already finished and release is a no-op.
+	defer func() {
+		for _, c := range active {
+			c.release()
+		}
+	}()
+
+	cur := m.pickNext(nil)
+	for cur != nil {
+		if cur.waiter != nil {
+			// An engine-stepped wait: run one step in place of a resume.
+			// Only when the wait completes (or its step panicked, with
+			// the panic stashed for Await to re-raise) does the CPU's
+			// coroutine get the floor back.
+			if !m.stepWaiter(cur) {
+				m.heap.fix(cur)
+				cur = m.pickNext(nil)
+				continue
+			}
+		}
+		if m.sched == nil {
+			m.refreshWake(cur)
+		}
+		if _, parked := cur.resume(); parked {
+			// cur parked in Sync after choosing its successor.
+			cur = m.next
+		} else {
+			// cur's body returned or panicked (spawn's seq-root recover
+			// turns body panics into normal coroutine exits after
+			// recording runErr): retire it and pick fresh.
+			if cur.heapIdx >= 0 {
+				m.heap.remove(cur)
+			}
+			cur = m.pickNext(nil)
+		}
 	}
-	// Hand the token to the first CPU.
-	m.grantToken(m.pickNext(nil))
-	<-done
-	wg.Wait()
 	if m.runErr != nil {
 		panic(m.runErr)
 	}
@@ -273,47 +295,58 @@ func (m *Machine) Run(threads int, body func(*CPU)) int64 {
 	return end - base
 }
 
-// finishCPU removes c from the scheduler and passes the token on (or
-// signals completion if c was the last runnable CPU).
-func (m *Machine) finishCPU(c *CPU, done chan struct{}) {
-	if c.heapIdx >= 0 {
-		m.heap.remove(c)
-	}
-	if next := m.pickNext(nil); next != nil {
-		m.grantToken(next)
-	} else {
-		close(done)
-	}
-}
-
-// grantToken refreshes the Sync fast-path cache for the CPU about to run
-// and hands it the execution token. The refresh must happen before the
-// send: once the token is delivered the recipient may immediately consult
-// the cache from its own goroutine.
+// stepWaiter advances c's engine-stepped wait by one step and reports
+// whether the wait is over. It owns the two pieces of bookkeeping a step
+// cannot do for itself: the livelock deadline check (a waiting CPU's Syncs
+// are disabled, so syncSlow never sees it) and the re-routing of a panic
+// raised inside a step — both are stashed in c.stepErr and re-raised by
+// Await on the waiting CPU's own stack, exactly where the open-coded loop
+// would have raised them.
 //
-//simlint:allow determinism the token handoff is the engine's one blessed channel send; the recipient is chosen by the deterministic virtual-time heap, not by host scheduling
-func (m *Machine) grantToken(next *CPU) {
-	if m.sched == nil {
-		m.refreshWake(next)
+//simlint:allow abortflow the recover re-routes a step's panic — including an HTM abort unwinding a doomed transaction — onto the waiting CPU's coroutine, where Await re-panics it verbatim for htm.Thread.Try to consume
+func (m *Machine) stepWaiter(c *CPU) (done bool) {
+	if c.now > m.Cfg.Deadline {
+		c.waiter = nil
+		c.stepErr = fmt.Sprintf("machine: CPU %d exceeded virtual deadline (%d cycles): livelock?", c.ID, m.Cfg.Deadline)
+		return true
 	}
-	next.token <- struct{}{}
+	defer func() {
+		if r := recover(); r != nil {
+			c.waiter = nil
+			c.stepErr = r
+			done = true
+		}
+	}()
+	if c.waiter.Step(c) {
+		c.waiter = nil
+		return true
+	}
+	return false
 }
 
-// refreshWake recomputes the wakeTime/wakeID threshold for next, the CPU
-// about to receive the token. Under the default scheduler next is the heap
-// root, so the minimum among the other runnable CPUs is the smaller of the
-// root's two children.
+// refreshWake recomputes the wake threshold of next, the CPU about to be
+// resumed: the smallest packed (virtual time, ID) key among all *other*
+// runnable CPUs. While next runs, every other runnable CPU is parked in
+// its coroutine with a frozen clock, so the threshold stays valid until
+// the next resume. Sync compares against it to answer "am I still the
+// minimum?" with a single comparison instead of a heap fix + pick. Under
+// the default scheduler next is the heap root, so the minimum among the
+// others is the smaller of the root's two children.
 func (m *Machine) refreshWake(next *CPU) {
 	h := &m.heap
 	if len(h.cpus) <= 1 {
-		// No other runnable CPU: next keeps the token until it finishes.
-		m.wakeTime = 1<<63 - 1
-		m.wakeID = int(^uint(0) >> 1)
+		// No other runnable CPU: next keeps the floor until it finishes.
+		// Clamp the threshold to just past the deadline so a runaway body
+		// still falls off the fast path and into syncSlow's livelock check
+		// (parked CPUs always have clocks within the deadline — their own
+		// Sync checked it before parking — so multi-CPU thresholds never
+		// need the clamp).
+		next.wake = (m.Cfg.Deadline + 1) << clockIDBits
 		return
 	}
 	best := h.cpus[1]
 	if len(h.cpus) > 2 && h.less(2, 1) {
 		best = h.cpus[2]
 	}
-	m.wakeTime, m.wakeID = best.now, best.ID
+	next.wake = best.now<<clockIDBits | best.idKey
 }

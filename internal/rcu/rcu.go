@@ -67,16 +67,7 @@ func (d *Domain) Read(t *htm.Thread, cs func()) {
 
 // UpdateLock serializes updaters (RCU's external update-side lock).
 func (d *Domain) UpdateLock(t *htm.Thread) {
-	var poll int = 1
-	for {
-		if t.Load(d.updMutex) == 0 && t.CAS(d.updMutex, 0, 1) {
-			return
-		}
-		t.C.SpinFor(poll)
-		if poll < 64 {
-			poll *= 2
-		}
-	}
+	t.AwaitAcquirePoll(d.updMutex, 64)
 }
 
 // UpdateUnlock releases the update-side lock.
@@ -93,12 +84,6 @@ func (d *Domain) Synchronize(t *htm.Thread) {
 		if snap[i]&1 == 0 {
 			continue
 		}
-		poll := 1
-		for t.Load(d.clockAddr(i)) == snap[i] {
-			t.C.SpinFor(poll)
-			if poll < 32 {
-				poll *= 2
-			}
-		}
+		t.AwaitWord(d.clockAddr(i), ^uint64(0), snap[i], false, 32)
 	}
 }
