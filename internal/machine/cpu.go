@@ -256,6 +256,19 @@ func (c *CPU) syncSlow() {
 	c.park()
 }
 
+// IdleUntil advances this CPU's virtual clock to time t — a no-op when t
+// is in the past — and reschedules. It models a CPU idling for an
+// externally timed event, e.g. an open-system server waiting for the next
+// request arrival: no work is charged, no memory is touched, and other
+// CPUs run in the meantime. Unlike Spin it burns no spin-loop cost, so an
+// idle server does not perturb the coherence or cost model.
+func (c *CPU) IdleUntil(t int64) {
+	if t > c.now {
+		c.now = t
+	}
+	c.Sync()
+}
+
 // Spin charges one spin-loop iteration (plus seeded jitter — see
 // CostModel.SpinJitter) and reschedules. Call it inside busy-wait loops so
 // that waiting advances virtual time.

@@ -41,3 +41,15 @@ func (r *rng) Intn(n int) int {
 func (r *rng) Float64() float64 {
 	return float64(r.Next()>>11) / (1 << 53)
 }
+
+// Stream is a standalone, CPU-independent SplitMix64 stream for
+// deterministic pre-run generation: arrival schedules, workload traces, or
+// any randomness that must be fixed before machine.Run starts and must not
+// consume (or depend on) any CPU's per-run stream. Like the per-CPU
+// streams, a Stream is a pure function of its seed, so everything derived
+// from it is bit-for-bit reproducible.
+type Stream struct{ rng }
+
+// NewStream returns a stream seeded with seed (0 is remapped like the
+// per-CPU streams).
+func NewStream(seed uint64) *Stream { return &Stream{newRNG(seed)} }

@@ -1,0 +1,86 @@
+package machine
+
+import "testing"
+
+// TestStreamDeterministic pins the Stream contract: identical seeds yield
+// identical sequences, distinct seeds diverge, and seed 0 is remapped
+// rather than producing the degenerate all-zero SplitMix64 orbit.
+func TestStreamDeterministic(t *testing.T) {
+	a, b := NewStream(42), NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+	c, d := NewStream(1), NewStream(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c.Next() == d.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different seeds collided on %d of 1000 draws", same)
+	}
+	z := NewStream(0)
+	if z.Next() == 0 && z.Next() == 0 {
+		t.Error("zero seed produced a degenerate stream")
+	}
+}
+
+// TestStreamIndependentOfCPUs checks that draws from a Stream and from
+// per-CPU streams never share state: interleaving them changes neither
+// sequence.
+func TestStreamIndependentOfCPUs(t *testing.T) {
+	solo := NewStream(7)
+	var want []uint64
+	for i := 0; i < 16; i++ {
+		want = append(want, solo.Next())
+	}
+
+	m := New(Config{CPUs: 2, MemWords: 1 << 12, Seed: 9})
+	interleaved := NewStream(7)
+	var got []uint64
+	m.Run(2, func(c *CPU) {
+		for i := 0; i < 4; i++ {
+			c.Rand64()
+			if c.ID == 0 {
+				got = append(got, interleaved.Next(), interleaved.Next())
+			}
+			c.Tick(10)
+		}
+	})
+	for i, w := range want[:len(got)] {
+		if got[i] != w {
+			t.Fatalf("stream draw %d perturbed by CPU streams: got %d, want %d", i, got[i], w)
+		}
+	}
+}
+
+// TestIdleUntil checks the open-system idle primitive: the clock jumps
+// forward to the target, never backward, and other CPUs run during the
+// idle window.
+func TestIdleUntil(t *testing.T) {
+	m := New(Config{CPUs: 2, MemWords: 1 << 12, Seed: 3})
+	var wokeAt, peerDoneAt int64
+	m.Run(2, func(c *CPU) {
+		if c.ID == 0 {
+			c.IdleUntil(10_000)
+			wokeAt = c.Now()
+			c.IdleUntil(5_000) // in the past: must not rewind
+			if c.Now() != wokeAt {
+				t.Errorf("IdleUntil rewound the clock: %d after waking at %d", c.Now(), wokeAt)
+			}
+		} else {
+			c.Tick(500)
+			c.Sync()
+			peerDoneAt = c.Now()
+		}
+	})
+	if wokeAt != 10_000 {
+		t.Errorf("idle CPU woke at %d, want 10000", wokeAt)
+	}
+	if peerDoneAt != 500 {
+		t.Errorf("peer CPU finished at %d, want 500 (must run during the idle window)", peerDoneAt)
+	}
+}

@@ -37,6 +37,57 @@ func (h *Hist) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) of the
+// recorded values. Within the log2 bucket holding the target rank the
+// value is linearly interpolated, so the estimate is exact for empty
+// (0), single-sample, and constant histograms, and off by at most the
+// bucket width otherwise; the upper edge is clamped to the observed Max.
+// For exact order statistics record into a Samples instead.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if h.Sum == h.Max*h.Count {
+		// All recorded values are equal (single sample or constant
+		// stream): every quantile is that value, bucket width regardless.
+		return float64(h.Max)
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		return float64(h.Max)
+	}
+	// Continuous rank in [0, Count-1], the same convention Samples uses.
+	rank := q * float64(h.Count-1)
+	var below int64 // samples in buckets before the current one
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		hi := float64(below + n - 1) // last rank inside this bucket
+		if rank > hi {
+			below += n
+			continue
+		}
+		lo := bucketLo(i)
+		up := 2 * lo // exclusive upper bound of bucket i
+		if i == 0 {
+			return 0 // bucket 0 holds exactly the zero values
+		}
+		if up-1 > h.Max {
+			up = h.Max + 1
+		}
+		if n == 1 || up-1 <= lo {
+			return float64(lo)
+		}
+		// Spread the bucket's n samples evenly across [lo, up-1].
+		frac := (rank - float64(below)) / float64(n-1)
+		return float64(lo) + frac*float64(up-1-lo)
+	}
+	return float64(h.Max)
+}
+
 // bucketLo returns the inclusive lower bound of bucket i.
 func bucketLo(i int) int64 {
 	if i == 0 {

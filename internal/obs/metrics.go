@@ -195,15 +195,40 @@ func (p *PointMetrics) WriteHists(w io.Writer) {
 		fmt.Fprintln(w, "no critical-section spans recorded")
 	}
 	for _, s := range p.Spans {
-		fmt.Fprintf(w, "cs latency — %s/%s: %d sections, %d retries, %d quiesce cycles, mean %.0f cycles, max %d\n",
-			s.Side, s.Path, s.Count, s.Retries, s.QuiesceCycles, mean(s.Latency), s.Latency.MaxCycles)
+		fmt.Fprintf(w, "cs latency — %s/%s: %d sections, %d retries, %d quiesce cycles, mean %.0f cycles, %s, max %d\n",
+			s.Side, s.Path, s.Count, s.Retries, s.QuiesceCycles, mean(s.Latency), quantileLine(s.Latency), s.Latency.MaxCycles)
 		writeBuckets(w, s.Latency)
 	}
 	if p.Quiesce.Count > 0 {
-		fmt.Fprintf(w, "quiescence windows: %d, mean %.0f cycles, max %d\n",
-			p.Quiesce.Count, mean(p.Quiesce), p.Quiesce.MaxCycles)
+		fmt.Fprintf(w, "quiescence windows: %d, mean %.0f cycles, %s, max %d\n",
+			p.Quiesce.Count, mean(p.Quiesce), quantileLine(p.Quiesce), p.Quiesce.MaxCycles)
 		writeBuckets(w, p.Quiesce)
 	}
+}
+
+// quantileLine renders the p50/p99/p999 summary of an exported histogram.
+// The quantiles are rebuilt from the log2 buckets (see Hist.Quantile), so
+// they carry bucket-interpolation error — good enough for the at-a-glance
+// text view; exact tails come from Samples-based reports.
+func quantileLine(h HistJSON) string {
+	var hist Hist
+	hist.Count, hist.Sum, hist.Max = h.Count, h.SumCycles, h.MaxCycles
+	for _, b := range h.Buckets {
+		hist.Buckets[bucketIdx(b.LoCycles)] = b.Count
+	}
+	return fmt.Sprintf("p50 %.0f, p99 %.0f, p999 %.0f",
+		hist.Quantile(0.50), hist.Quantile(0.99), hist.Quantile(0.999))
+}
+
+// bucketIdx inverts bucketLo: the bucket index whose lower bound is lo.
+// Unknown bounds (impossible for Hist-produced JSON) map to bucket 0.
+func bucketIdx(lo int64) int {
+	for i := 0; i < 65; i++ {
+		if bucketLo(i) == lo {
+			return i
+		}
+	}
+	return 0
 }
 
 func mean(h HistJSON) float64 {

@@ -1,0 +1,101 @@
+package obs
+
+import "sort"
+
+// Samples records every value it is given, for exact order-statistic
+// quantiles. The open-system service workload uses it for sojourn-time
+// percentiles, where the log2 Hist's bucket-width error would blur
+// exactly the tail behavior under study (a p999 that is off by a power of
+// two is not a p999). Memory is one int64 per sample, which is fine for
+// the 10^4-10^5 requests of a service sweep point; for unbounded event
+// streams use Hist.
+//
+// The zero value is ready to use. Samples is deterministic: quantiles
+// depend only on the multiset of values, never on insertion order.
+type Samples struct {
+	vals   []int64
+	sorted bool
+	sum    int64
+	max    int64
+}
+
+// Add records one value. Negative values are clamped to zero, matching
+// Hist's convention.
+func (s *Samples) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	s.vals = append(s.vals, v)
+	s.sorted = false
+	s.sum += v
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (s *Samples) Count() int64 { return int64(len(s.vals)) }
+
+// Mean returns the arithmetic mean of recorded values.
+func (s *Samples) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(len(s.vals))
+}
+
+// Max returns the largest recorded value.
+func (s *Samples) Max() int64 { return s.max }
+
+// Quantile returns the exact q-quantile (0 <= q <= 1) of the recorded
+// values, linearly interpolating between adjacent order statistics when
+// the continuous rank q*(n-1) falls between them (the "linear" /
+// Hyndman-Fan type 7 definition, matching numpy's default). An empty
+// recorder returns 0.
+func (s *Samples) Quantile(q float64) float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Slice(s.vals, func(i, j int) bool { return s.vals[i] < s.vals[j] })
+		s.sorted = true
+	}
+	if q <= 0 {
+		return float64(s.vals[0])
+	}
+	if q >= 1 {
+		return float64(s.vals[n-1])
+	}
+	rank := q * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return float64(s.vals[n-1])
+	}
+	return float64(s.vals[lo]) + frac*float64(s.vals[lo+1]-s.vals[lo])
+}
+
+// QuantilesJSON is the exported summary of a latency distribution: count,
+// mean and the three percentiles the service report plots, all in virtual
+// cycles. Produced from a Samples (exact) or a Hist (interpolated).
+type QuantilesJSON struct {
+	Count      int64   `json:"count"`
+	MeanCycles float64 `json:"mean_cycles"`
+	P50Cycles  float64 `json:"p50_cycles"`
+	P99Cycles  float64 `json:"p99_cycles"`
+	P999Cycles float64 `json:"p999_cycles"`
+	MaxCycles  int64   `json:"max_cycles"`
+}
+
+// JSON summarizes the recorder into its export form.
+func (s *Samples) JSON() QuantilesJSON {
+	return QuantilesJSON{
+		Count:      s.Count(),
+		MeanCycles: s.Mean(),
+		P50Cycles:  s.Quantile(0.50),
+		P99Cycles:  s.Quantile(0.99),
+		P999Cycles: s.Quantile(0.999),
+		MaxCycles:  s.Max(),
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestSamplesQuantileEmpty: an empty recorder reports zeros everywhere.
+func TestSamplesQuantileEmpty(t *testing.T) {
+	var s Samples
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %v, want 0", got)
+	}
+	j := s.JSON()
+	if j.Count != 0 || j.MeanCycles != 0 || j.P999Cycles != 0 || j.MaxCycles != 0 {
+		t.Errorf("empty JSON not all-zero: %+v", j)
+	}
+}
+
+// TestSamplesQuantileSingle: one sample is every quantile.
+func TestSamplesQuantileSingle(t *testing.T) {
+	var s Samples
+	s.Add(42)
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); !almost(got, 42) {
+			t.Errorf("single-sample Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+}
+
+// TestSamplesQuantileInterpolated: ranks between order statistics are
+// linearly interpolated (Hyndman-Fan type 7).
+func TestSamplesQuantileInterpolated(t *testing.T) {
+	var s Samples
+	// Insert out of order: quantiles must not depend on insertion order.
+	for _, v := range []int64{30, 10, 20, 40} {
+		s.Add(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40},
+		{0.5, 25},      // rank 1.5 → midpoint of 20 and 30
+		{1.0 / 3, 20},  // rank exactly 1
+		{0.25, 17.5},   // rank 0.75 → 10 + 0.75*(20-10)
+		{0.999, 39.97}, // rank 2.997
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); !almost(got, c.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if s.Mean() != 25 || s.Max() != 40 || s.Count() != 4 {
+		t.Errorf("summary stats wrong: mean=%v max=%v count=%v", s.Mean(), s.Max(), s.Count())
+	}
+}
+
+// TestSamplesQuantileExactTail: with 1000 distinct samples the p999 is the
+// exact order statistic, not a bucket estimate.
+func TestSamplesQuantileExactTail(t *testing.T) {
+	var s Samples
+	for v := int64(1000); v >= 1; v-- {
+		s.Add(v)
+	}
+	if got := s.Quantile(0.999); !almost(got, 999.001) {
+		t.Errorf("p999 of 1..1000 = %v, want 999.001", got)
+	}
+	if got := s.Quantile(0.5); !almost(got, 500.5) {
+		t.Errorf("p50 of 1..1000 = %v, want 500.5", got)
+	}
+}
+
+// TestSamplesNegativeClamped matches Hist: negatives count as zero.
+func TestSamplesNegativeClamped(t *testing.T) {
+	var s Samples
+	s.Add(-5)
+	s.Add(10)
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("min after negative add = %v, want 0", got)
+	}
+}
+
+// TestHistQuantileEmpty: an empty histogram reports zero.
+func TestHistQuantileEmpty(t *testing.T) {
+	var h Hist
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Hist.Quantile(0.5) = %v, want 0", got)
+	}
+}
+
+// TestHistQuantileSingle: a single sample is recovered exactly (the
+// bucket interpolation clamps to Max).
+func TestHistQuantileSingle(t *testing.T) {
+	var h Hist
+	h.Add(100)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); !almost(got, 100) {
+			t.Errorf("single-sample Hist.Quantile(%v) = %v, want 100", q, got)
+		}
+	}
+}
+
+// TestHistQuantileZeros: zero values live in bucket 0 and quantiles inside
+// it are exactly zero.
+func TestHistQuantileZeros(t *testing.T) {
+	var h Hist
+	for i := 0; i < 9; i++ {
+		h.Add(0)
+	}
+	h.Add(1 << 20)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("median of mostly-zeros = %v, want 0", got)
+	}
+	if got := h.Quantile(1); !almost(got, 1<<20) {
+		t.Errorf("max quantile = %v, want %v", got, 1<<20)
+	}
+}
+
+// TestHistQuantileInterpolated: within one bucket the estimate moves
+// monotonically between the bucket bounds and stays within them.
+func TestHistQuantileInterpolated(t *testing.T) {
+	var h Hist
+	// 100 samples spread across bucket [64, 128).
+	for i := 0; i < 100; i++ {
+		h.Add(64 + int64(i)*63/99)
+	}
+	prev := -1.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := h.Quantile(q)
+		if got < 64 || got > 127 {
+			t.Errorf("Quantile(%v) = %v outside bucket [64,127]", q, got)
+		}
+		if got < prev {
+			t.Errorf("Quantile(%v) = %v not monotone (prev %v)", q, got, prev)
+		}
+		prev = got
+	}
+	// The top of the range is clamped to the observed max, not the bucket
+	// edge.
+	if got, max := h.Quantile(1), float64(h.Max); !almost(got, max) {
+		t.Errorf("Quantile(1) = %v, want observed max %v", got, max)
+	}
+}
+
+// TestHistQuantileMatchesSamplesRoughly: on a broad distribution the
+// bucket estimate lands within one bucket width of the exact quantile.
+func TestHistQuantileMatchesSamplesRoughly(t *testing.T) {
+	var h Hist
+	var s Samples
+	v := int64(1)
+	for i := 0; i < 5000; i++ {
+		v = v*6364136223846793005 + 1442695040888963407 // LCG, deterministic
+		x := (v >> 33) & 0xffff
+		h.Add(x)
+		s.Add(x)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := s.Quantile(q)
+		est := h.Quantile(q)
+		if est < exact/2-1 || est > exact*2+1 {
+			t.Errorf("Quantile(%v): bucket estimate %v too far from exact %v", q, est, exact)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"hrwle/internal/machine"
+)
+
+// This file defines the export schema of the open-system service workload
+// (internal/service): one ServiceMetrics per measurement point of an
+// offered-load sweep. Like PointMetrics it is deterministic — a pure
+// function of the point's configuration and seed — so sweep JSON can be
+// byte-compared across runs and across worker counts.
+
+// PathSojourn splits a class's sojourn distribution by the commit path its
+// requests' critical sections finally took (HTM / ROT / SGL /
+// Uninstrumented). Under elision pressure the paths separate: requests
+// that fell back to the global lock carry a different tail than those
+// that committed speculatively.
+type PathSojourn struct {
+	Path    string        `json:"path"`
+	Served  int64         `json:"served"`
+	Sojourn QuantilesJSON `json:"sojourn"`
+}
+
+// ClassServiceMetrics is the per-priority-class panel of one point.
+// Quantiles cover the measured population (served requests past the
+// warmup prefix); sojourn = queue wait + service.
+type ClassServiceMetrics struct {
+	Class     string        `json:"class"`
+	Priority  int           `json:"priority"` // 0 = highest
+	Arrivals  int64         `json:"arrivals"`
+	Served    int64         `json:"served"`
+	Dropped   int64         `json:"dropped"`
+	Measured  int64         `json:"measured"`
+	QueueWait QuantilesJSON `json:"queue_wait"`
+	Service   QuantilesJSON `json:"service"`
+	Sojourn   QuantilesJSON `json:"sojourn"`
+	ByPath    []PathSojourn `json:"by_path,omitempty"`
+}
+
+// ServiceMetrics is the telemetry of one open-system measurement point:
+// one (workload, scheme, offered load) combination, one machine run.
+type ServiceMetrics struct {
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	Servers  int    `json:"servers"`
+	QueueCap int    `json:"queue_cap"`
+	Process  string `json:"process"` // arrival process, e.g. "poisson", "mmpp"
+
+	// OfferedPerSec is the configured arrival rate λ; AchievedPerSec is
+	// served requests divided by the makespan. The gap between them (and
+	// Dropped) is the saturation signal.
+	OfferedPerSec  float64 `json:"offered_per_sec"`
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+
+	Requests          int64 `json:"requests"`
+	Served            int64 `json:"served"`
+	Dropped           int64 `json:"dropped"`
+	MakespanCycles    int64 `json:"makespan_cycles"`
+	LastArrivalCycles int64 `json:"last_arrival_cycles"`
+
+	Classes []ClassServiceMetrics `json:"classes"`
+	// Breakdown carries the scheme-side counters (commit paths, abort
+	// causes) of the same run, tying tail latency back to elision
+	// behavior.
+	Breakdown *Breakdown `json:"breakdown,omitempty"`
+}
+
+// Usec renders a cycle quantity as microseconds at the machine clock rate.
+func Usec(cycles float64) float64 { return cycles / machine.CyclesPerSecond * 1e6 }
+
+// WriteText renders one point as a compact human-readable block: the
+// offered/achieved line, then one latency row per class and per commit
+// path. All latencies are microseconds.
+func (m *ServiceMetrics) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%s/%s servers=%d cap=%d %s: offered=%.0f/s achieved=%.0f/s served=%d dropped=%d makespan=%.3fs\n",
+		m.Workload, m.Scheme, m.Servers, m.QueueCap, m.Process,
+		m.OfferedPerSec, m.AchievedPerSec, m.Served, m.Dropped,
+		machine.Seconds(m.MakespanCycles))
+	for _, c := range m.Classes {
+		fmt.Fprintf(w, "  class %-12s arr=%-6d srv=%-6d drop=%-5d sojourn us: p50=%8.1f p99=%8.1f p999=%8.1f max=%8.1f (wait p99=%8.1f svc p99=%8.1f)\n",
+			c.Class, c.Arrivals, c.Served, c.Dropped,
+			Usec(c.Sojourn.P50Cycles), Usec(c.Sojourn.P99Cycles), Usec(c.Sojourn.P999Cycles), Usec(float64(c.Sojourn.MaxCycles)),
+			Usec(c.QueueWait.P99Cycles), Usec(c.Service.P99Cycles))
+		for _, p := range c.ByPath {
+			fmt.Fprintf(w, "    path %-16s n=%-6d sojourn us: p50=%8.1f p99=%8.1f p999=%8.1f\n",
+				p.Path, p.Served,
+				Usec(p.Sojourn.P50Cycles), Usec(p.Sojourn.P99Cycles), Usec(p.Sojourn.P999Cycles))
+		}
+	}
+}

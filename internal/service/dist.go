@@ -1,0 +1,119 @@
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"hrwle/internal/machine"
+)
+
+// Dist is a non-negative service-demand distribution sampled from a
+// deterministic stream. All schedule randomness is drawn at schedule
+// generation time, before the machine runs.
+type Dist struct {
+	kind distKind
+	// Mean is the distribution mean (cycles for Work, count for Footprint).
+	Mean float64
+	// Alpha is the Pareto tail index (heavier tail for smaller alpha;
+	// alpha must exceed 1 for the mean to exist).
+	Alpha float64
+	// SmallProb and Ratio shape the bimodal mix: a sample is small with
+	// probability SmallProb, and large samples are Ratio× the small mode.
+	SmallProb float64
+	Ratio     float64
+	// CapFactor bounds Pareto samples at CapFactor×Mean so one schedule
+	// draw cannot dominate a whole measurement point (default 50).
+	CapFactor float64
+}
+
+type distKind int
+
+const (
+	distFixed distKind = iota
+	distPareto
+	distBimodal
+)
+
+// Fixed returns the degenerate distribution: every sample is mean.
+func Fixed(mean float64) Dist { return Dist{kind: distFixed, Mean: mean} }
+
+// Pareto returns a bounded Pareto distribution with the given mean and
+// tail index alpha (> 1). Heavy tails are the defining feature of service
+// demand in real systems; alpha in (1, 2) gives infinite variance, the
+// regime where tail latency decouples from mean load.
+func Pareto(mean, alpha float64) Dist {
+	return Dist{kind: distPareto, Mean: mean, Alpha: alpha, CapFactor: 50}
+}
+
+// Bimodal returns a two-point mix: small with probability smallProb,
+// large = ratio×small otherwise, shaped so the overall mean is mean.
+// Models the common "cheap point op vs expensive scan" service split.
+func Bimodal(mean, smallProb, ratio float64) Dist {
+	return Dist{kind: distBimodal, Mean: mean, SmallProb: smallProb, Ratio: ratio}
+}
+
+// check validates the distribution parameters.
+func (d Dist) check() error {
+	if d.Mean <= 0 {
+		return fmt.Errorf("dist mean %v must be positive", d.Mean)
+	}
+	switch d.kind {
+	case distPareto:
+		if d.Alpha <= 1 {
+			return fmt.Errorf("pareto alpha %v must exceed 1", d.Alpha)
+		}
+	case distBimodal:
+		if d.SmallProb <= 0 || d.SmallProb >= 1 || d.Ratio < 1 {
+			return fmt.Errorf("bimodal shape invalid (p=%v, ratio=%v)", d.SmallProb, d.Ratio)
+		}
+	}
+	return nil
+}
+
+// String names the distribution for reports.
+func (d Dist) String() string {
+	switch d.kind {
+	case distFixed:
+		return fmt.Sprintf("fixed(%g)", d.Mean)
+	case distPareto:
+		return fmt.Sprintf("pareto(%g,a=%g)", d.Mean, d.Alpha)
+	case distBimodal:
+		return fmt.Sprintf("bimodal(%g,p=%g,r=%g)", d.Mean, d.SmallProb, d.Ratio)
+	}
+	return "dist?"
+}
+
+// Sample draws one value, rounded to a non-negative integer.
+func (d Dist) Sample(s *machine.Stream) int64 {
+	var x float64
+	switch d.kind {
+	case distFixed:
+		x = d.Mean
+	case distPareto:
+		// Inverse-CDF: x = xm * U^(-1/alpha), with the scale xm chosen so
+		// the (uncapped) mean is Mean: E[X] = xm*alpha/(alpha-1).
+		xm := d.Mean * (d.Alpha - 1) / d.Alpha
+		u := 1 - s.Float64() // in (0, 1]
+		x = xm * math.Pow(u, -1/d.Alpha)
+		cap := d.CapFactor
+		if cap <= 0 {
+			cap = 50
+		}
+		if max := cap * d.Mean; x > max {
+			x = max
+		}
+	case distBimodal:
+		// small*p + ratio*small*(1-p) = Mean.
+		small := d.Mean / (d.SmallProb + (1-d.SmallProb)*d.Ratio)
+		if s.Float64() < d.SmallProb {
+			x = small
+		} else {
+			x = d.Ratio * small
+		}
+	}
+	v := int64(x + 0.5)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}

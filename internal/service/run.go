@@ -1,0 +1,164 @@
+package service
+
+import (
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/obs"
+	"hrwle/internal/rwlock"
+	"hrwle/internal/stats"
+)
+
+// RunPoint measures one open-system point: it draws the arrival schedule,
+// builds the protected structure under the given lock scheme, serves the
+// schedule with cfg.Servers simulated CPUs, and returns the latency
+// metrics plus the completed schedule (for tests and traces). observe, if
+// non-nil, is called with the machine before the run starts (tracer
+// attachment).
+func RunPoint(cfg Config, scheme string, mk rwlock.Factory, observe func(*machine.Machine)) (*obs.ServiceMetrics, []Request, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, nil, err
+	}
+	reqs, err := GenerateSchedule(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	totalOps := int64(0)
+	for i := range reqs {
+		totalOps += int64(reqs[i].Footprint)
+	}
+	m := machine.New(machine.Config{
+		CPUs:     cfg.Servers,
+		MemWords: cfg.memWords(totalOps),
+		Seed:     cfg.Seed,
+	})
+	if observe != nil {
+		observe(m)
+	}
+	sys := htm.NewSystem(m, htm.Config{})
+	lock := mk(sys)
+	ex, err := newExecutor(&cfg, m, sys, lock, scheme)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	q := newQueue(reqs, cfg.QueueCap, len(cfg.Classes))
+	cycles := m.Run(cfg.Servers, func(c *machine.CPU) {
+		th := sys.Thread(c.ID)
+		for {
+			// Sync makes this CPU the global minimum (time, ID), so the
+			// host-side queue below is only ever touched in nondecreasing
+			// virtual time — see the queue type comment.
+			c.Sync()
+			idx, ok := q.pop(c.Now())
+			if !ok {
+				if t, more := q.nextArrival(); more {
+					c.IdleUntil(t)
+					continue
+				}
+				// Schedule exhausted and queue empty: arrivals are the only
+				// source of work, so this server is done.
+				return
+			}
+			r := &q.reqs[idx]
+			r.Server = c.ID
+			r.DequeueAt = c.Now()
+			c.Tick(cfg.DispatchCycles)
+			c.Tick(r.Work) // pre-CS local compute (parse, app logic)
+			before := th.St.Commits
+			ex.exec(r, c, th)
+			r.Path = dominantPath(before, th.St.Commits)
+			r.DoneAt = c.Now()
+		}
+	})
+	b := stats.Merge(sys.Stats(cfg.Servers), cycles)
+	return assemble(&cfg, scheme, q.reqs, cycles, &b), q.reqs, nil
+}
+
+// dominantPath returns the commit path most of the request's critical
+// sections took (ties break toward the smaller path index, i.e. the more
+// speculative path); -1 when no critical section committed a path delta.
+func dominantPath(before, after [stats.NumCommitPaths]int64) int8 {
+	best, bestN := -1, int64(0)
+	for i := 0; i < stats.NumCommitPaths; i++ {
+		if d := after[i] - before[i]; d > bestN {
+			best, bestN = i, d
+		}
+	}
+	return int8(best)
+}
+
+// assemble folds the completed schedule into a ServiceMetrics. Quantiles
+// cover measured requests: served, past the warmup prefix of the arrival
+// order.
+func assemble(cfg *Config, scheme string, reqs []Request, cycles int64, b *stats.Breakdown) *obs.ServiceMetrics {
+	warmup := int(cfg.WarmupFrac * float64(len(reqs)))
+	out := &obs.ServiceMetrics{
+		Workload:       cfg.Workload,
+		Scheme:         scheme,
+		Servers:        cfg.Servers,
+		QueueCap:       cfg.QueueCap,
+		Process:        cfg.Arrivals.Process.String(),
+		OfferedPerSec:  cfg.Arrivals.RatePerSec,
+		Requests:       int64(len(reqs)),
+		MakespanCycles: cycles,
+		Breakdown:      obs.NewBreakdown(b),
+	}
+	if n := len(reqs); n > 0 {
+		out.LastArrivalCycles = reqs[n-1].ArriveAt
+	}
+	type classAcc struct {
+		arrivals, served, dropped int64
+		wait, svc, sojourn        obs.Samples
+		byPath                    [stats.NumCommitPaths]obs.Samples
+	}
+	accs := make([]classAcc, len(cfg.Classes))
+	for i := range reqs {
+		r := &reqs[i]
+		a := &accs[r.Class]
+		a.arrivals++
+		if r.Dropped {
+			a.dropped++
+			out.Dropped++
+			continue
+		}
+		a.served++
+		out.Served++
+		if i < warmup {
+			continue
+		}
+		a.wait.Add(r.DequeueAt - r.ArriveAt)
+		a.svc.Add(r.DoneAt - r.DequeueAt)
+		a.sojourn.Add(r.DoneAt - r.ArriveAt)
+		if r.Path >= 0 {
+			a.byPath[r.Path].Add(r.DoneAt - r.ArriveAt)
+		}
+	}
+	if s := machine.Seconds(cycles); s > 0 {
+		out.AchievedPerSec = float64(out.Served) / s
+	}
+	for ci := range accs {
+		a := &accs[ci]
+		cm := obs.ClassServiceMetrics{
+			Class:     cfg.Classes[ci].Name,
+			Priority:  ci,
+			Arrivals:  a.arrivals,
+			Served:    a.served,
+			Dropped:   a.dropped,
+			Measured:  a.sojourn.Count(),
+			QueueWait: a.wait.JSON(),
+			Service:   a.svc.JSON(),
+			Sojourn:   a.sojourn.JSON(),
+		}
+		for p := 0; p < stats.NumCommitPaths; p++ {
+			if a.byPath[p].Count() > 0 {
+				cm.ByPath = append(cm.ByPath, obs.PathSojourn{
+					Path:    stats.CommitPath(p).String(),
+					Served:  a.byPath[p].Count(),
+					Sojourn: a.byPath[p].JSON(),
+				})
+			}
+		}
+		out.Classes = append(out.Classes, cm)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"fmt"
+
+	"hrwle/internal/hashmap"
+	"hrwle/internal/htm"
+	"hrwle/internal/kyoto"
+	"hrwle/internal/machine"
+	"hrwle/internal/rwlock"
+	"hrwle/internal/tpcc"
+)
+
+// executor runs one request's structure work on the serving CPU. A
+// request of footprint k performs k operations, each inside its own
+// RW-LE-protected critical section; the per-op randomness comes from the
+// request's own schedule seed (hashmap) or the serving CPU's stream
+// (kyoto, tpcc), so either way the run is a pure function of the seeds.
+type executor interface {
+	exec(r *Request, c *machine.CPU, th *htm.Thread)
+}
+
+// memWords sizes simulated memory for the configured workload; totalOps
+// is the summed footprint of the whole schedule (order headroom for tpcc).
+func (c *Config) memWords(totalOps int64) int64 {
+	switch c.Workload {
+	case "kyoto":
+		return kyoto.DefaultConfig().MemWords()
+	case "tpcc":
+		return tpcc.DefaultConfig().MemWords(totalOps)
+	default:
+		universe := c.HashBuckets * c.HashItems
+		// Line-aligned nodes with churn headroom, per-server spare nodes
+		// and lock metadata (the RunHashmap sizing plus spare slack).
+		return universe*16*3/2 + c.HashBuckets + int64(c.Servers)*64 + 1<<15
+	}
+}
+
+// newExecutor builds and populates the protected structure. scheme is the
+// lock scheme name; kyoto mirrors the Fig. 9 convention of eliding the
+// inner slot mutexes only under HLE.
+func newExecutor(cfg *Config, m *machine.Machine, sys *htm.System, lock rwlock.Lock, scheme string) (executor, error) {
+	switch cfg.Workload {
+	case "hashmap":
+		return newHashExec(cfg, m, sys, lock), nil
+	case "kyoto":
+		pol := kyoto.InnerReal
+		if scheme == "HLE" {
+			pol = kyoto.InnerElide
+		}
+		db := kyoto.New(m, kyoto.DefaultConfig())
+		db.Populate()
+		return &stepExec{
+			lock:  lock,
+			write: &kyoto.Wicked{DB: db, WritePct: 100, Inner: pol},
+			read:  &kyoto.Wicked{DB: db, WritePct: 0, Inner: pol},
+		}, nil
+	case "tpcc":
+		db := tpcc.Build(m, tpcc.DefaultConfig())
+		return &stepExec{
+			lock:  lock,
+			write: &tpcc.Workload{DB: db, WritePct: 100},
+			read:  &tpcc.Workload{DB: db, WritePct: 0},
+		}, nil
+	}
+	return nil, fmt.Errorf("service: unknown workload %q (hashmap|kyoto|tpcc)", cfg.Workload)
+}
+
+// stepper is the shared shape of the kyoto and tpcc closed-loop drivers;
+// the service layer reuses them one Step per operation. The write/read
+// split (WritePct 100 vs 0) hands the schedule's IsWrite flag the choice
+// the drivers normally draw themselves, so the op mix follows the class
+// configuration.
+type stepper interface {
+	Step(lock rwlock.Lock, t *htm.Thread, c *machine.CPU)
+}
+
+type stepExec struct {
+	lock        rwlock.Lock
+	write, read stepper
+}
+
+func (e *stepExec) exec(r *Request, c *machine.CPU, th *htm.Thread) {
+	d := e.read
+	if r.IsWrite {
+		d = e.write
+	}
+	for i := 0; i < r.Footprint; i++ {
+		d.Step(e.lock, th, c)
+	}
+}
+
+// hashSrv is one server's hashmap op state. The critical-section closures
+// are hoisted here and communicate through the struct fields: closures
+// passed through the rwlock.Lock interface escape, so per-op literals
+// would allocate on every operation (the RunHashmap pattern).
+type hashSrv struct {
+	th    *htm.Thread
+	key   uint64
+	spare machine.Addr
+	used  bool
+	gone  machine.Addr
+
+	insertCS, removeCS, lookupCS func()
+}
+
+type hashExec struct {
+	h        *hashmap.Map
+	lock     rwlock.Lock
+	universe int
+	srv      []hashSrv
+}
+
+func newHashExec(cfg *Config, m *machine.Machine, sys *htm.System, lock rwlock.Lock) *hashExec {
+	h := hashmap.New(m, cfg.HashBuckets)
+	h.Populate(cfg.HashItems)
+	e := &hashExec{
+		h:        h,
+		lock:     lock,
+		universe: int(cfg.HashBuckets * cfg.HashItems),
+		srv:      make([]hashSrv, cfg.Servers),
+	}
+	for i := range e.srv {
+		v := &e.srv[i]
+		v.th = sys.Thread(i)
+		v.insertCS = func() { v.used = e.h.Insert(v.th, v.key, v.key, v.spare) }
+		v.removeCS = func() { v.gone = e.h.Remove(v.th, v.key) }
+		v.lookupCS = func() { e.h.Lookup(v.th, v.key) }
+	}
+	return e
+}
+
+func (e *hashExec) exec(r *Request, c *machine.CPU, th *htm.Thread) {
+	// Op parameters come from the request's own stream, fixed at schedule
+	// time: the work a request performs does not depend on which server
+	// picks it up.
+	s := machine.NewStream(r.Seed)
+	v := &e.srv[c.ID]
+	for i := 0; i < r.Footprint; i++ {
+		v.key = uint64(s.Intn(e.universe))
+		if r.IsWrite {
+			// Insert or remove, 50/50, keeping the population in steady
+			// state; spare-node protocol as in RunHashmap.
+			if s.Intn(2) == 0 {
+				if v.spare == 0 {
+					v.spare = e.h.PrepareNode(th)
+				}
+				v.used = false
+				e.lock.Write(th, v.insertCS)
+				if v.used {
+					v.spare = 0
+				}
+			} else {
+				v.gone = 0
+				e.lock.Write(th, v.removeCS)
+				if v.gone != 0 {
+					e.h.Recycle(th, v.gone)
+				}
+			}
+		} else {
+			e.lock.Read(th, v.lookupCS)
+		}
+		th.St.Ops++
+	}
+}

@@ -22,6 +22,7 @@ var determinismScope = map[string]bool{
 	"hrwle/internal/stats":   true,
 	"hrwle/internal/obs":     true,
 	"hrwle/internal/harness": true,
+	"hrwle/internal/service": true,
 }
 
 // wallClockFuncs are the time-package functions that read the host clock
