@@ -1,0 +1,159 @@
+// Command hrwle-prof runs the virtual-time profiler: one open-system
+// measurement point per scheme at a calibrated offered load, with every
+// simulated cycle attributed to a category (useful committed work, wasted
+// speculation, lock waiting, quiescence, fallback serialization,
+// application work, idle) and the windowed telemetry series (throughput,
+// abort rate, commit-path mix, queue depth, sojourn p99) rendered as
+// sparklines.
+//
+// The default load is the workload's saturation knee — the point where the
+// schemes' cycle mixes diverge most (see EXPERIMENTS.md). Attribution is
+// exact: per point, the categories sum to servers × sim_cycles, and the
+// profiler never perturbs the simulation (sim_cycles are identical with
+// profiling on or off).
+//
+// Usage:
+//
+//	hrwle-prof -list
+//	hrwle-prof -workload hashmap
+//	hrwle-prof -workload all -o results/prof.txt -json results/prof.json
+//	hrwle-prof -workload tpcc -schemes all -rate 5e5 -window 1e6
+//	hrwle-prof -workload kyoto -servers 4 -requests 1000 -j 8
+//
+// Output is deterministic: the same flags produce byte-identical text and
+// JSON at any -j.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hrwle/internal/harness"
+	"hrwle/internal/service"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload to profile (hashmap|kyoto|tpcc|all)")
+		list     = flag.Bool("list", false, "list workloads and their default knee loads")
+		schemes  = flag.String("schemes", "", "comma-separated scheme list, or 'all' (default RW-LE_OPT,HLE,RWL,SGL)")
+		rate     = flag.Float64("rate", 0, "offered load, req/s (default: the workload's saturation knee)")
+		window   = flag.Float64("window", 0, "profiling window width in virtual cycles (default 250000)")
+		servers  = flag.Int("servers", 0, "serving CPUs (default 8)")
+		requests = flag.Int("requests", 0, "arrivals per point (default 4000)")
+		queueCap = flag.Int("queue-cap", 0, "dispatch queue bound (default 512)")
+		arrivals = flag.String("arrivals", "poisson", "arrival process (poisson|mmpp)")
+		seed     = flag.Uint64("seed", 0, "schedule and machine seed (default 1)")
+		out      = flag.String("o", "", "write the text report to file (default stdout)")
+		jsonOut  = flag.String("json", "", "write the ProfReport JSON to file")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "schemes to profile concurrently")
+		quiet    = flag.Bool("q", false, "suppress per-point progress")
+	)
+	flag.Parse()
+
+	if *list || *workload == "" {
+		fmt.Println("available workloads (default knee load, req/s):")
+		for _, wl := range harness.ServeWorkloads() {
+			spec, _ := harness.DefaultProfSpec(wl)
+			fmt.Printf("  %-8s %s\n", wl, strconv.FormatFloat(spec.RatePerSec, 'g', -1, 64))
+		}
+		fmt.Printf("default schemes: %s\n", strings.Join(harness.ServeSchemes(), ","))
+		fmt.Printf("all schemes:     %s\n", strings.Join(harness.AllSchemes(), ","))
+		return
+	}
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	workloads := []string{*workload}
+	if *workload == "all" {
+		workloads = harness.ServeWorkloads()
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var jw io.Writer
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		jw = f
+	}
+
+	for _, wl := range workloads {
+		spec, err := harness.DefaultProfSpec(wl)
+		if err != nil {
+			fatal(err)
+		}
+		switch *schemes {
+		case "":
+		case "all":
+			spec.Schemes = harness.AllSchemes()
+		default:
+			spec.Schemes = strings.Split(*schemes, ",")
+		}
+		if *rate > 0 {
+			spec.RatePerSec = *rate
+		}
+		if *window > 0 {
+			spec.WindowCycles = int64(*window)
+		}
+		if *servers > 0 {
+			spec.Base.Servers = *servers
+		}
+		if *requests > 0 {
+			spec.Base.Requests = *requests
+		}
+		if *queueCap > 0 {
+			spec.Base.QueueCap = *queueCap
+		}
+		if *seed != 0 {
+			spec.Base.Seed = *seed
+		}
+		spec.Base.Arrivals.Process, err = service.ParseProcess(*arrivals)
+		if err != nil {
+			fatal(err)
+		}
+
+		start := time.Now()
+		rep, err := harness.RunProf(spec, *jobs, progress)
+		if err != nil {
+			fatal(err)
+		}
+		rep.WriteText(w)
+		fmt.Fprintln(w)
+		if jw != nil {
+			if err := rep.WriteJSON(jw); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "prof %s done in %.1fs wall\n", wl, time.Since(start).Seconds())
+	}
+
+	if *jsonOut != "" {
+		fmt.Fprintf(os.Stderr, "JSON written to %s\n", *jsonOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

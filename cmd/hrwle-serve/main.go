@@ -47,6 +47,8 @@ func main() {
 		out      = flag.String("o", "", "write the text report to file (default stdout)")
 		jsonOut  = flag.String("json", "", "write the ServeReport JSON to file")
 		chrome   = flag.String("chrome", "", "write a Chrome trace of the run (single scheme and rate only)")
+		timeline = flag.String("timeline", "", "write the virtual-time profile JSON of the run (single scheme and rate only)")
+		window   = flag.Int64("window", harness.DefaultProfWindow, "profiling window width in virtual cycles (with -timeline)")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "measurement points to run concurrently")
 		quiet    = flag.Bool("q", false, "suppress per-point progress")
 	)
@@ -114,11 +116,11 @@ func main() {
 			fatal(err)
 		}
 
-		if *chrome != "" {
+		if *chrome != "" || *timeline != "" {
 			if len(workloads) != 1 || len(spec.Schemes) != 1 || len(spec.Rates) != 1 {
-				fatal(fmt.Errorf("-chrome needs exactly one workload, one -schemes entry and one -rates entry"))
+				fatal(fmt.Errorf("-chrome/-timeline need exactly one workload, one -schemes entry and one -rates entry"))
 			}
-			if err := tracePoint(spec, *chrome, w); err != nil {
+			if err := tracePoint(spec, *chrome, *timeline, *window, w); err != nil {
 				fatal(err)
 			}
 			return
@@ -150,28 +152,55 @@ func main() {
 	}
 }
 
-// tracePoint runs the spec's single point with a full event log attached
-// and writes a Chrome trace next to the usual text block.
-func tracePoint(spec harness.ServeSpec, path string, w io.Writer) error {
+// tracePoint runs the spec's single point with the requested collectors
+// attached: a full event log for the Chrome trace (with queue-depth and
+// in-flight counter tracks derived from the request log), and/or the
+// virtual-time profiler for the timeline JSON and text panels.
+func tracePoint(spec harness.ServeSpec, chromePath, timelinePath string, window int64, w io.Writer) error {
 	cfg := spec.Base
 	cfg.Arrivals.RatePerSec = spec.Rates[0]
 	scheme := spec.Schemes[0]
-	log := &machine.LogTracer{}
-	m, _, err := service.RunPoint(cfg, scheme, harness.SchemeFactory(scheme),
-		func(mach *machine.Machine) { mach.SetTracer(log) })
+	var observe func(*machine.Machine)
+	var log *machine.LogTracer
+	if chromePath != "" {
+		log = &machine.LogTracer{}
+		observe = func(mach *machine.Machine) { mach.SetTracer(log) }
+	}
+	var prof *obs.Profile
+	if timelinePath != "" {
+		prof = obs.NewProfile(window, len(cfg.Classes))
+	}
+	m, reqs, err := service.RunPointProfiled(cfg, scheme, harness.SchemeFactory(scheme), observe, prof)
 	if err != nil {
 		return err
 	}
 	m.WriteText(w)
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if prof != nil {
+		rep := prof.Report(scheme, cfg.Workload)
+		rep.Service = m
+		rep.WriteText(w)
+		f, err := os.Create(timelinePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "timeline profile (%d windows) written to %s\n",
+			len(rep.Timeline.Windows), timelinePath)
 	}
-	defer f.Close()
-	if err := obs.WriteChromeTrace(f, log.Events); err != nil {
-		return err
+	if log != nil {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteChromeTraceCounters(f, log.Events, service.CounterTracks(reqs)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "Chrome trace (%d events) written to %s\n", len(log.Events), chromePath)
 	}
-	fmt.Fprintf(os.Stderr, "Chrome trace (%d events) written to %s\n", len(log.Events), path)
 	return nil
 }
 

@@ -17,16 +17,21 @@
 //	               ("-" for stdout)
 //	-chrome FILE   write the complete event trace in Chrome trace_event
 //	               format (open in Perfetto or chrome://tracing)
+//	-timeline FILE attach the virtual-time profiler and write its windowed
+//	               cycle-attribution/telemetry report as JSON (text panels
+//	               are printed with the trace); -window sets the bucket
+//	               width in virtual cycles
 //
 // -scheme accepts a comma-separated list; each scheme runs on its own
 // simulated machine (concurrently, up to -j at a time) and the traces are
-// printed in the order given. -json and -chrome require a single scheme.
+// printed in the order given. -json, -chrome and -timeline require a
+// single scheme.
 //
 // Usage:
 //
 //	hrwle-trace [-scheme RW-LE_OPT,SGL] [-threads 4] [-ops 30] [-w 20]
 //	            [-n 120] [-seed 7] [-j 4] [-matrix] [-hist]
-//	            [-json FILE] [-chrome FILE]
+//	            [-json FILE] [-chrome FILE] [-timeline FILE]
 package main
 
 import (
@@ -52,7 +57,8 @@ type traceOpts struct {
 	threads, ops, writes, events int
 	seed                         uint64
 	matrix, hist, noEvents       bool
-	jsonOut, chrome              string
+	jsonOut, chrome, timeline    string
+	window                       int64
 }
 
 func main() {
@@ -68,6 +74,8 @@ func main() {
 		hist     = flag.Bool("hist", false, "print per-CS latency and quiescence histograms")
 		jsonOut  = flag.String("json", "", "write point metrics JSON to this file ('-' for stdout)")
 		chrome   = flag.String("chrome", "", "write a Chrome trace_event file (Perfetto / chrome://tracing)")
+		timeline = flag.String("timeline", "", "write the virtual-time profile JSON to this file ('-' for stdout)")
+		window   = flag.Int64("window", harness.DefaultProfWindow, "profiling window width in virtual cycles (with -timeline)")
 		noEvents = flag.Bool("q", false, "suppress the raw event dump")
 	)
 	flag.Parse()
@@ -81,14 +89,14 @@ func main() {
 	if len(schemes) == 0 {
 		fatal(fmt.Errorf("no scheme given"))
 	}
-	if len(schemes) > 1 && (*jsonOut != "" || *chrome != "") {
-		fatal(fmt.Errorf("-json and -chrome require a single -scheme, got %d", len(schemes)))
+	if len(schemes) > 1 && (*jsonOut != "" || *chrome != "" || *timeline != "") {
+		fatal(fmt.Errorf("-json, -chrome and -timeline require a single -scheme, got %d", len(schemes)))
 	}
 
 	opts := traceOpts{
 		threads: *threads, ops: *ops, writes: *writes, events: *events,
 		seed: *seed, matrix: *matrix, hist: *hist, noEvents: *noEvents,
-		jsonOut: *jsonOut, chrome: *chrome,
+		jsonOut: *jsonOut, chrome: *chrome, timeline: *timeline, window: *window,
 	}
 
 	// Each scheme traces an independent machine; buffer the reports and
@@ -150,7 +158,15 @@ func traceScheme(w io.Writer, scheme string, o traceOpts) error {
 		log = &machine.LogTracer{}
 		tracers = append(tracers, log)
 	}
+	var prof *obs.Profile
+	if o.timeline != "" {
+		prof = obs.NewProfile(o.window, 0)
+		tracers = append(tracers, prof)
+	}
 	m.SetTracer(tracers)
+	if prof != nil {
+		prof.Start(m.Now(), o.threads)
+	}
 
 	cycles := m.Run(o.threads, func(c *machine.CPU) {
 		th := sys.Thread(c.ID)
@@ -213,6 +229,16 @@ func traceScheme(w io.Writer, scheme string, o traceOpts) error {
 		}
 		fmt.Fprintf(os.Stderr, "chrome trace: %d events → %s (open in Perfetto or chrome://tracing)\n",
 			len(log.Events), o.chrome)
+	}
+	if prof != nil {
+		prof.Finish(m.Now())
+		rep := prof.Report(lock.Name(), "hashmap")
+		rep.WriteText(w)
+		if err := writeTo(o.timeline, rep.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "timeline profile: %d windows → %s\n",
+			len(rep.Timeline.Windows), o.timeline)
 	}
 	return nil
 }

@@ -231,12 +231,16 @@ func (l *RWLE) readLock(t *htm.Thread) {
 		// A non-speculative writer is (or just went) active: defer to it
 		// and retry (paper lines 14-16).
 		t.Store(ca, clk+2)
+		waitStart := t.C.Now()
 		poll := 1
 		for state(t.Load(l.wlock)) == lockNS {
 			t.C.SpinFor(poll)
 			if poll < 32 {
 				poll *= 2
 			}
+		}
+		if d := t.C.Now() - waitStart; d > 0 {
+			t.C.Emit(machine.EvLockWait, l.wlock, uint64(d))
 		}
 	}
 }
@@ -428,7 +432,11 @@ func (l *RWLE) writeNS(t *htm.Thread, cs func()) {
 func (l *RWLE) acquire(t *htm.Thread, word machine.Addr, to uint64) uint64 {
 	w := &l.acqWaits[t.C.ID]
 	*w = acqWait{t: t, word: word, to: to}
+	start := t.C.Now()
 	t.C.Await(w)
+	if d := t.C.Now() - start; d > 0 {
+		t.C.Emit(machine.EvLockWait, word, uint64(d))
+	}
 	return w.ver
 }
 

@@ -14,7 +14,7 @@ import (
 // `hrwle-bench -bench results/BENCH_PRn.json`) and update the reference
 // here alongside the golden results.
 func TestBenchCyclesMatchBaseline(t *testing.T) {
-	const baseline = "../../results/BENCH_PR6.json"
+	const baseline = "../../results/BENCH_PR7.json"
 	data, err := os.ReadFile(baseline)
 	if err != nil {
 		t.Fatalf("missing committed bench baseline: %v", err)

@@ -43,6 +43,14 @@ func (r Result) Throughput() float64 {
 	return float64(r.B.Ops) / machine.Seconds(r.Cycles)
 }
 
+// AllSchemes lists every name SchemeFactory resolves, in menu order.
+func AllSchemes() []string {
+	return []string{
+		"RW-LE_OPT", "RW-LE_PES", "RW-LE_FAIR", "RW-LE_SPLIT", "RW-LE_basic",
+		"HLE", "BRLock", "RWL", "SGL",
+	}
+}
+
 // SchemeFactory resolves a scheme name to a lock factory. Supported names:
 // RW-LE_OPT, RW-LE_PES, RW-LE_FAIR, RW-LE_SPLIT, RW-LE_basic, HLE, BRLock,
 // RWL, SGL.

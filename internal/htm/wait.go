@@ -55,6 +55,16 @@ func (w *wordWait) Step(c *machine.CPU) bool {
 	return false
 }
 
+// emitLockWait stamps an EvLockWait covering the wait that just finished:
+// Addr is the polled word, Aux the cycles spent from start to now. Emitted
+// only when time actually passed, so an instant hit stays event-free. The
+// emit itself charges nothing, preserving virtual time exactly.
+func emitLockWait(t *Thread, a machine.Addr, start int64) {
+	if d := t.C.Now() - start; d > 0 {
+		t.C.Emit(machine.EvLockWait, a, uint64(d))
+	}
+}
+
 // AwaitWord parks the calling CPU until Load(a)&mask compares to want as
 // exitEq requests, polling with exponential escalation up to pollCap
 // cycles per poll.
@@ -62,7 +72,9 @@ func (t *Thread) AwaitWord(a machine.Addr, mask, want uint64, exitEq bool, pollC
 	w := &t.ww
 	*w = wordWait{t: t, a: a, mask: mask, want: want, exitEq: exitEq,
 		spin: spinWait{poll: 1, pollCap: pollCap}}
+	start := t.C.Now()
 	t.C.Await(w)
+	emitLockWait(t, a, start)
 }
 
 // AwaitWordBackoff is AwaitWord with randomized exponential backoff between
@@ -72,7 +84,9 @@ func (t *Thread) AwaitWordBackoff(a machine.Addr, mask, want uint64, exitEq bool
 	w := &t.ww
 	*w = wordWait{t: t, a: a, mask: mask, want: want, exitEq: exitEq,
 		spin: spinWait{random: true, shift: shift, shiftCap: shiftCap}}
+	start := t.C.Now()
 	t.C.Await(w)
+	emitLockWait(t, a, start)
 	return w.spin.shift
 }
 
@@ -107,7 +121,9 @@ func (w *tatasWait) Step(c *machine.CPU) bool {
 func (t *Thread) AwaitAcquire(a machine.Addr, shiftCap uint) {
 	w := &t.tas
 	*w = tatasWait{t: t, a: a, spin: spinWait{random: true, shiftCap: shiftCap}}
+	start := t.C.Now()
 	t.C.Await(w)
+	emitLockWait(t, a, start)
 }
 
 // AwaitAcquirePoll acquires a TATAS word lock with escalating deterministic
@@ -115,5 +131,7 @@ func (t *Thread) AwaitAcquire(a machine.Addr, shiftCap uint) {
 func (t *Thread) AwaitAcquirePoll(a machine.Addr, pollCap int) {
 	w := &t.tas
 	*w = tatasWait{t: t, a: a, spin: spinWait{poll: 1, pollCap: pollCap}}
+	start := t.C.Now()
 	t.C.Await(w)
+	emitLockWait(t, a, start)
 }

@@ -57,20 +57,22 @@ func (l *SGL) Name() string { return "SGL" }
 // Read implements rwlock.Lock.
 func (l *SGL) Read(t *htm.Thread, cs func()) {
 	t.St.ReadCS++
-	l.enter(t, cs)
+	l.enter(t, false, cs)
 }
 
 // Write implements rwlock.Lock.
 func (l *SGL) Write(t *htm.Thread, cs func()) {
 	t.St.WriteCS++
-	l.enter(t, cs)
+	l.enter(t, true, cs)
 }
 
-func (l *SGL) enter(t *htm.Thread, cs func()) {
+func (l *SGL) enter(t *htm.Thread, write bool, cs func()) {
+	t.C.Emit(machine.EvCSBegin, 0, machine.PackCS(write, 0, 0))
 	spinAcquire(t, l.lock)
 	cs()
 	spinRelease(t, l.lock)
 	t.St.Commits[stats.CommitSGL]++
+	t.C.Emit(machine.EvCSEnd, 0, machine.PackCS(write, uint64(stats.CommitSGL), 0))
 }
 
 // RWL models the pthread read-write lock: an internal mutex protecting
@@ -98,6 +100,7 @@ func (l *RWL) Name() string { return "RWL" }
 // Read implements rwlock.Lock.
 func (l *RWL) Read(t *htm.Thread, cs func()) {
 	t.St.ReadCS++
+	t.C.Emit(machine.EvCSBegin, 0, machine.PackCS(false, 0, 0))
 	var b backoff
 	for {
 		spinAcquire(t, l.mutex)
@@ -114,11 +117,13 @@ func (l *RWL) Read(t *htm.Thread, cs func()) {
 	t.Store(l.readers, t.Load(l.readers)-1)
 	spinRelease(t, l.mutex)
 	t.St.Commits[stats.CommitUninstrumented]++
+	t.C.Emit(machine.EvCSEnd, 0, machine.PackCS(false, uint64(stats.CommitUninstrumented), 0))
 }
 
 // Write implements rwlock.Lock.
 func (l *RWL) Write(t *htm.Thread, cs func()) {
 	t.St.WriteCS++
+	t.C.Emit(machine.EvCSBegin, 0, machine.PackCS(true, 0, 0))
 	spinAcquire(t, l.mutex)
 	t.Store(l.writersWaiting, t.Load(l.writersWaiting)+1)
 	var b backoff
@@ -135,6 +140,7 @@ func (l *RWL) Write(t *htm.Thread, cs func()) {
 	t.Store(l.writerActive, 0)
 	spinRelease(t, l.mutex)
 	t.St.Commits[stats.CommitSGL]++
+	t.C.Emit(machine.EvCSEnd, 0, machine.PackCS(true, uint64(stats.CommitSGL), 0))
 }
 
 // BRLock is the big-reader lock (once in the Linux kernel): each thread
@@ -166,16 +172,19 @@ func (l *BRLock) mutexAddr(i int) machine.Addr { return l.mutexes + machine.Addr
 // Read implements rwlock.Lock.
 func (l *BRLock) Read(t *htm.Thread, cs func()) {
 	t.St.ReadCS++
+	t.C.Emit(machine.EvCSBegin, 0, machine.PackCS(false, 0, 0))
 	mine := l.mutexAddr(t.C.ID)
 	spinAcquire(t, mine)
 	cs()
 	spinRelease(t, mine)
 	t.St.Commits[stats.CommitUninstrumented]++
+	t.C.Emit(machine.EvCSEnd, 0, machine.PackCS(false, uint64(stats.CommitUninstrumented), 0))
 }
 
 // Write implements rwlock.Lock.
 func (l *BRLock) Write(t *htm.Thread, cs func()) {
 	t.St.WriteCS++
+	t.C.Emit(machine.EvCSBegin, 0, machine.PackCS(true, 0, 0))
 	for i := 0; i < l.n; i++ {
 		spinAcquire(t, l.mutexAddr(i))
 	}
@@ -184,6 +193,7 @@ func (l *BRLock) Write(t *htm.Thread, cs func()) {
 		spinRelease(t, l.mutexAddr(i))
 	}
 	t.St.Commits[stats.CommitSGL]++
+	t.C.Emit(machine.EvCSEnd, 0, machine.PackCS(true, uint64(stats.CommitSGL), 0))
 }
 
 // HLE is Rajwar-Goodman hardware lock elision: read and write critical
@@ -213,17 +223,19 @@ func (l *HLE) Name() string { return "HLE" }
 // Read implements rwlock.Lock.
 func (l *HLE) Read(t *htm.Thread, cs func()) {
 	t.St.ReadCS++
-	l.elide(t, cs)
+	l.elide(t, false, cs)
 }
 
 // Write implements rwlock.Lock.
 func (l *HLE) Write(t *htm.Thread, cs func()) {
 	t.St.WriteCS++
-	l.elide(t, cs)
+	l.elide(t, true, cs)
 }
 
-func (l *HLE) elide(t *htm.Thread, cs func()) {
+func (l *HLE) elide(t *htm.Thread, write bool, cs func()) {
+	t.C.Emit(machine.EvCSBegin, 0, machine.PackCS(write, 0, 0))
 	var b backoff
+	var failed uint64
 	for attempt := 0; attempt < l.maxRetries; attempt++ {
 		// Wait for the lock to be free before speculating; starting while
 		// it is held guarantees an immediate self-abort. The backoff shift
@@ -237,8 +249,10 @@ func (l *HLE) elide(t *htm.Thread, cs func()) {
 		})
 		if st.OK {
 			t.St.Commits[stats.CommitHTM]++
+			t.C.Emit(machine.EvCSEnd, 0, machine.PackCS(write, uint64(stats.CommitHTM), failed))
 			return
 		}
+		failed++
 		if st.Persistent {
 			break
 		}
@@ -249,6 +263,7 @@ func (l *HLE) elide(t *htm.Thread, cs func()) {
 	cs()
 	spinRelease(t, l.lock)
 	t.St.Commits[stats.CommitSGL]++
+	t.C.Emit(machine.EvCSEnd, 0, machine.PackCS(write, uint64(stats.CommitSGL), failed))
 }
 
 // Factories returns the baseline lock factories keyed by scheme name.

@@ -264,7 +264,10 @@ func (c *CPU) syncSlow() {
 // idle server does not perturb the coherence or cost model.
 func (c *CPU) IdleUntil(t int64) {
 	if t > c.now {
+		idled := t - c.now
 		c.now = t
+		// Stamp the slept span for the profiler: Aux cycles ending now.
+		c.Emit(EvIdle, 0, uint64(idled))
 	}
 	c.Sync()
 }

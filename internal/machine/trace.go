@@ -30,8 +30,15 @@ const (
 	// with PackCS/UnpackCS.
 	EvCSBegin
 	EvCSEnd
+	// Profiler-support events. EvLockWait is an instant event emitted
+	// after a spin/backoff wait completes: Addr is the polled word and
+	// Aux the virtual cycles spent waiting (the wait occupies
+	// [Time-Aux, Time]). EvIdle is emitted by CPU.IdleUntil with Aux =
+	// the cycles the CPU slept with no work to do.
+	EvLockWait
+	EvIdle
 
-	NumEventKinds = int(EvCSEnd) + 1
+	NumEventKinds = int(EvIdle) + 1
 )
 
 var eventNames = [...]string{
@@ -39,6 +46,7 @@ var eventNames = [...]string{
 	"tx-begin", "tx-commit", "tx-abort", "tx-suspend", "tx-resume", "tx-doom",
 	"quiesce-start", "quiesce-end", "path-switch",
 	"cs-begin", "cs-end",
+	"lock-wait", "idle",
 }
 
 func (k EventKind) String() string { return eventNames[k] }
@@ -63,6 +71,10 @@ type Tracer interface {
 // SetTracer installs (or, with nil, removes) the event sink. Tracing slows
 // the simulation down; it does not change virtual time.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// Tracer returns the installed event sink, or nil. Callers that want to
+// add a sink without displacing an existing one wrap both in MultiTracer.
+func (m *Machine) Tracer() Tracer { return m.tracer }
 
 // Emit sends an event to the tracer, if any, stamping the CPU and time.
 // Layers above the machine use it to contribute their own events.

@@ -17,9 +17,23 @@ type chromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// CounterPoint is one sample of a counter track: the counter's value from
+// virtual time Ts onward.
+type CounterPoint struct {
+	Ts    int64
+	Value int64
+}
+
+// CounterSeries is one named Chrome counter track (ph:"C").
+type CounterSeries struct {
+	Name   string
+	Points []CounterPoint
 }
 
 // WriteChromeTrace converts a complete event trace into Chrome
@@ -32,6 +46,14 @@ type chromeEvent struct {
 // pairs are guaranteed well-nested per tid even when an abort unwinds
 // through nested windows.
 func WriteChromeTrace(w io.Writer, events []machine.Event) error {
+	return WriteChromeTraceCounters(w, events, nil)
+}
+
+// WriteChromeTraceCounters is WriteChromeTrace plus counter tracks: each
+// CounterSeries becomes a ph:"C" track (e.g. queue depth, in-flight
+// requests), appended after the slice events in series order — Perfetto
+// orders records by timestamp, so interleaving is unnecessary.
+func WriteChromeTraceCounters(w io.Writer, events []machine.Event, counters []CounterSeries) error {
 	out := struct {
 		TraceEvents     []chromeEvent `json:"traceEvents"`
 		DisplayTimeUnit string        `json:"displayTimeUnit"`
@@ -108,6 +130,15 @@ func WriteChromeTrace(w io.Writer, events []machine.Event) error {
 		case machine.EvPageFault:
 			ce.Ph, ce.Name = "i", "page-fault"
 			ce.Args = map[string]any{"page": e.Aux}
+		case machine.EvLockWait:
+			// Complete event covering the wait: it ends at e.Time and
+			// lasted Aux cycles.
+			ce.Ph, ce.Name = "X", "lock-wait"
+			ce.Ts, ce.Dur = e.Time-int64(e.Aux), int64(e.Aux)
+			ce.Args = map[string]any{"addr": int64(e.Addr)}
+		case machine.EvIdle:
+			ce.Ph, ce.Name = "X", "idle"
+			ce.Ts, ce.Dur = e.Time-int64(e.Aux), int64(e.Aux)
 		default:
 			continue // memory accesses: see doc comment
 		}
@@ -136,6 +167,15 @@ func WriteChromeTrace(w io.Writer, events []machine.Event) error {
 			}
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	for _, s := range counters {
+		for _, pt := range s.Points {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: s.Name, Ph: "C", Ts: pt.Ts, Pid: 0, Tid: 0,
+				Args: map[string]any{"value": pt.Value},
+			})
+		}
 	}
 
 	enc := json.NewEncoder(w)

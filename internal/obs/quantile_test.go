@@ -70,6 +70,23 @@ func TestSamplesQuantileExactTail(t *testing.T) {
 	}
 }
 
+// TestSamplesQuantileAllEqual: a degenerate distribution reports the same
+// value at every quantile, including both boundaries.
+func TestSamplesQuantileAllEqual(t *testing.T) {
+	var s Samples
+	for i := 0; i < 17; i++ {
+		s.Add(7)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); !almost(got, 7) {
+			t.Errorf("all-equal Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	if s.Mean() != 7 || s.Max() != 7 || s.Count() != 17 {
+		t.Errorf("all-equal summary stats wrong: mean=%v max=%v count=%v", s.Mean(), s.Max(), s.Count())
+	}
+}
+
 // TestSamplesNegativeClamped matches Hist: negatives count as zero.
 func TestSamplesNegativeClamped(t *testing.T) {
 	var s Samples
@@ -113,6 +130,28 @@ func TestHistQuantileZeros(t *testing.T) {
 	}
 	if got := h.Quantile(1); !almost(got, 1<<20) {
 		t.Errorf("max quantile = %v, want %v", got, 1<<20)
+	}
+}
+
+// TestHistQuantileAllEqual: when every sample is the same value the bucket
+// estimate collapses to it — at q=0, q=1 and everywhere between — because
+// the interpolation is clamped to the observed max.
+func TestHistQuantileAllEqual(t *testing.T) {
+	var h Hist
+	for i := 0; i < 1000; i++ {
+		h.Add(300)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got > 300 || got < 256 {
+			t.Errorf("all-equal Hist.Quantile(%v) = %v outside bucket [256,300]", q, got)
+		}
+	}
+	if got := h.Quantile(1); !almost(got, 300) {
+		t.Errorf("all-equal Hist.Quantile(1) = %v, want observed max 300", got)
+	}
+	if h.Count != 1000 || h.Sum != 300_000 || h.Max != 300 {
+		t.Errorf("all-equal hist totals wrong: count=%d sum=%d max=%d", h.Count, h.Sum, h.Max)
 	}
 }
 

@@ -1,0 +1,45 @@
+package service
+
+import (
+	"sort"
+
+	"hrwle/internal/obs"
+)
+
+// CounterTracks derives the Chrome counter tracks of one completed run
+// from its request log: "queue depth" (arrived, not yet dequeued; dropped
+// requests never enter the queue) and "in-flight" (dequeued, executing on
+// a server, not yet done). Deltas at the same virtual timestamp are
+// aggregated into one point per track, so the output is deterministic
+// regardless of request order.
+func CounterTracks(reqs []Request) []obs.CounterSeries {
+	type delta struct{ ts, dq, df int64 }
+	ds := make([]delta, 0, 3*len(reqs))
+	for i := range reqs {
+		r := &reqs[i]
+		if r.Dropped {
+			continue
+		}
+		ds = append(ds,
+			delta{r.ArriveAt, 1, 0},
+			delta{r.DequeueAt, -1, 1},
+			delta{r.DoneAt, 0, -1})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].ts < ds[j].ts })
+	var q, f int64
+	var qs, fs []obs.CounterPoint
+	for i := 0; i < len(ds); {
+		t := ds[i].ts
+		for i < len(ds) && ds[i].ts == t {
+			q += ds[i].dq
+			f += ds[i].df
+			i++
+		}
+		qs = append(qs, obs.CounterPoint{Ts: t, Value: q})
+		fs = append(fs, obs.CounterPoint{Ts: t, Value: f})
+	}
+	return []obs.CounterSeries{
+		{Name: "queue depth", Points: qs},
+		{Name: "in-flight requests", Points: fs},
+	}
+}

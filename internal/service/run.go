@@ -15,6 +15,17 @@ import (
 // non-nil, is called with the machine before the run starts (tracer
 // attachment).
 func RunPoint(cfg Config, scheme string, mk rwlock.Factory, observe func(*machine.Machine)) (*obs.ServiceMetrics, []Request, error) {
+	return RunPointProfiled(cfg, scheme, mk, observe, nil)
+}
+
+// RunPointProfiled is RunPoint with a virtual-time profiler attached: prof
+// (when non-nil) is installed as an additional tracer right before the run
+// — after structure population, so attribution covers exactly the serving
+// phase — Started/Finished around it, and fed the completed request log so
+// its timeline carries the queue-depth and sojourn series. The profiler is
+// a pure event consumer: metrics and sim_cycles are identical with and
+// without it.
+func RunPointProfiled(cfg Config, scheme string, mk rwlock.Factory, observe func(*machine.Machine), prof *obs.Profile) (*obs.ServiceMetrics, []Request, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, nil, err
 	}
@@ -42,6 +53,14 @@ func RunPoint(cfg Config, scheme string, mk rwlock.Factory, observe func(*machin
 	}
 
 	q := newQueue(reqs, cfg.QueueCap, len(cfg.Classes))
+	if prof != nil {
+		prof.Start(m.Now(), cfg.Servers)
+		if t := m.Tracer(); t != nil {
+			m.SetTracer(machine.MultiTracer{t, prof})
+		} else {
+			m.SetTracer(prof)
+		}
+	}
 	cycles := m.Run(cfg.Servers, func(c *machine.CPU) {
 		th := sys.Thread(c.ID)
 		for {
@@ -70,6 +89,13 @@ func RunPoint(cfg Config, scheme string, mk rwlock.Factory, observe func(*machin
 			r.DoneAt = c.Now()
 		}
 	})
+	if prof != nil {
+		for i := range q.reqs {
+			r := &q.reqs[i]
+			prof.Timeline.AddRequest(r.Class, r.ArriveAt, r.DequeueAt, r.DoneAt, r.Dropped)
+		}
+		prof.Finish(m.Now())
+	}
 	b := stats.Merge(sys.Stats(cfg.Servers), cycles)
 	return assemble(&cfg, scheme, q.reqs, cycles, &b), q.reqs, nil
 }
