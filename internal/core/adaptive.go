@@ -34,6 +34,11 @@ func newAdaptiveController() *adaptiveController {
 // Budget returns the current MAX-HTM budget.
 func (a *adaptiveController) Budget() int { return a.budget }
 
+// WinRate10 returns the last completed window's HTM win rate in tenths
+// (0–10), or -1 if the last window attempted no HTM at all (budget 0).
+// Before the first window completes it reports 0.
+func (a *adaptiveController) WinRate10() int { return a.winRate10 }
+
 // record feeds one writer outcome: whether the HTM path was attempted at
 // all and whether it ultimately committed the section.
 func (a *adaptiveController) record(htmTried, htmWon bool) {

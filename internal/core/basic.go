@@ -1,10 +1,21 @@
 package core
 
 import (
+	"fmt"
+
 	"hrwle/internal/htm"
 	"hrwle/internal/machine"
 	"hrwle/internal/stats"
 )
+
+// basicWatchdogLimit is how many consecutive *persistent* aborts (capacity
+// or explicit-persistent — retrying the same path is futile by definition)
+// one write section tolerates before the blind-retry loop is declared
+// livelocked. Conflict aborts reset the count: they are the aborts
+// Algorithm 1's blind retry legitimately rides out. The limit only has to
+// be comfortably above any plausible run of spurious persistent
+// classifications; a genuinely over-capacity section hits it immediately.
+const basicWatchdogLimit = 64
 
 // Basic is the paper's Algorithm 1: the didactic HTM-only variant of RW-LE
 // with writers serialized by a spin lock and blind retry of failed
@@ -58,6 +69,7 @@ func (l *Basic) Write(t *htm.Thread, cs func()) {
 	t.St.WriteCS++
 	t.C.Emit(machine.EvCSBegin, 0, machine.PackCS(true, 0, 0))
 	var retries uint64
+	persistentRun := 0
 	for {
 		spinAcquireWord(t, l.wlock)
 		released := false
@@ -83,6 +95,19 @@ func (l *Basic) Write(t *htm.Thread, cs func()) {
 		// writer by now.
 		if !released {
 			t.Store(l.wlock, 0)
+		}
+		// Retry-storm watchdog: Algorithm 1 has no fallback, so a section
+		// whose aborts are persistent can never complete — fail fast with a
+		// diagnostic instead of spinning the simulation to its deadline.
+		if st.Persistent {
+			persistentRun++
+			if persistentRun >= basicWatchdogLimit {
+				panic(fmt.Sprintf(
+					"core: RW-LE_basic write section on cpu %d livelocked: %d consecutive persistent aborts (last cause %v, %d retries total) — Algorithm 1 has no capacity fallback; run sections that overflow the HTM read/write budget under RW-LE (Algorithm 2) instead",
+					t.C.ID, persistentRun, st.Cause, retries))
+			}
+		} else {
+			persistentRun = 0
 		}
 	}
 }

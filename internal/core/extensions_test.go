@@ -130,6 +130,25 @@ func TestAdaptiveControllerGrowsOnSuccess(t *testing.T) {
 	}
 }
 
+func TestAdaptiveControllerWinRateExposed(t *testing.T) {
+	a := newAdaptiveController()
+	// 6 wins out of 8 attempts in an otherwise HTM-free window: the
+	// introspection rate must report tenths of the attempted sections.
+	for i := 0; i < a.window; i++ {
+		a.record(i < 8, i < 6)
+	}
+	if got := a.WinRate10(); got != 7 {
+		t.Errorf("WinRate10() = %d after 6/8 HTM wins, want 7", got)
+	}
+	// A window with no HTM attempts at all reports the -1 sentinel.
+	for i := 0; i < a.window; i++ {
+		a.record(false, false)
+	}
+	if got := a.WinRate10(); got != -1 {
+		t.Errorf("WinRate10() = %d after an HTM-free window, want -1", got)
+	}
+}
+
 func TestAdaptiveControllerRecoversFromZero(t *testing.T) {
 	a := newAdaptiveController()
 	for w := 0; w < 10; w++ {

@@ -183,6 +183,17 @@ func (l *RWLE) Name() string {
 	return fmt.Sprintf("RW-LE(htm=%d,rot=%d,fair=%v)", l.opts.MaxHTM, l.opts.MaxROT, l.opts.Fair)
 }
 
+// AdaptiveState reports the self-tuning controller's current HTM budget
+// and last-window win rate in tenths (see adaptiveController.WinRate10).
+// ok is false when the lock runs a fixed budget (Options.Adaptive unset),
+// in which case the other values are meaningless.
+func (l *RWLE) AdaptiveState() (budget, winRate10 int, ok bool) {
+	if l.adapt == nil {
+		return 0, 0, false
+	}
+	return l.adapt.Budget(), l.adapt.WinRate10(), true
+}
+
 func (l *RWLE) clockAddr(id int) machine.Addr { return l.clocks + machine.Addr(id)*l.lineW }
 func (l *RWLE) localAddr(id int) machine.Addr { return l.local + machine.Addr(id)*l.lineW }
 

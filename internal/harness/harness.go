@@ -15,6 +15,7 @@ import (
 	"hrwle/internal/htm"
 	"hrwle/internal/locks"
 	"hrwle/internal/machine"
+	"hrwle/internal/obs"
 	"hrwle/internal/rwlock"
 	"hrwle/internal/stats"
 )
@@ -30,6 +31,9 @@ type Result struct {
 	// Speedup is set by figures whose first panel is normalized to a
 	// baseline (Fig. 10: SGL at one thread).
 	Speedup float64
+	// Adaptive is the end-of-run state of the scheme's self-tuning budget
+	// controller, when it has one (RW-LE_ADAPT); nil otherwise.
+	Adaptive *obs.AdaptiveState
 }
 
 // Seconds converts the virtual execution time to seconds.

@@ -89,3 +89,27 @@ func TestRWLEBeatsHLEOnCapacityWorkload(t *testing.T) {
 		t.Errorf("RW-LE (%d cycles) not faster than HLE (%d cycles) on the capacity workload", rwle.Cycles, hle.Cycles)
 	}
 }
+
+// TestAdaptiveStateExposed pins that the self-tuning scheme's controller
+// state reaches the Result (and from there the metrics JSON): an
+// RW-LE_ADAPT point reports a budget and win rate, a fixed-budget point
+// reports nothing.
+func TestAdaptiveStateExposed(t *testing.T) {
+	p := HashmapParams{
+		Buckets: 1, Items: 200, WritePct: 50,
+		Threads: 8, TotalOps: 2000, Seed: 42,
+	}
+	r := RunHashmap(PointCtx{}, p, extSchemeFactory("RW-LE_ADAPT"))
+	if r.Adaptive == nil {
+		t.Fatal("RW-LE_ADAPT point has no Adaptive state")
+	}
+	if r.Adaptive.Budget < 0 || r.Adaptive.Budget > 8 {
+		t.Errorf("adaptive budget = %d, outside [0, 8]", r.Adaptive.Budget)
+	}
+	if r.Adaptive.WinRate10 < -1 || r.Adaptive.WinRate10 > 10 {
+		t.Errorf("adaptive win rate = %d tenths, outside [-1, 10]", r.Adaptive.WinRate10)
+	}
+	if r := RunHashmap(PointCtx{}, p, SchemeFactory("RW-LE_OPT")); r.Adaptive != nil {
+		t.Errorf("fixed-budget point reports adaptive state %+v", r.Adaptive)
+	}
+}

@@ -58,7 +58,9 @@ func RunWithMetrics(f *FigureSpec, scale float64, progress io.Writer, dir string
 			rm = &obs.RunMetrics{Figure: f.ID, Scheme: r.Scheme}
 			byScheme[r.Scheme] = rm
 		}
-		rm.Points = append(rm.Points, c.Point(r.Threads, r.WritePct, r.Cycles, &r.B))
+		pm := c.Point(r.Threads, r.WritePct, r.Cycles, &r.B)
+		pm.Adaptive = r.Adaptive
+		rm.Points = append(rm.Points, pm)
 	}
 
 	if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -50,12 +50,12 @@ type BenchReport struct {
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 
-	Figure    string  `json:"figure"`
+	Figure    string   `json:"figure"`
 	Schemes   []string `json:"schemes"`
-	Threads   []int   `json:"threads"`
-	WritePcts []int   `json:"write_pcts"`
-	Scale     float64 `json:"scale"`
-	Points    int     `json:"points"`
+	Threads   []int    `json:"threads"`
+	WritePcts []int    `json:"write_pcts"`
+	Scale     float64  `json:"scale"`
+	Points    int      `json:"points"`
 
 	SimCycles int64 `json:"sim_cycles"`
 

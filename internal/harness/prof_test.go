@@ -2,12 +2,23 @@ package harness
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"hrwle/internal/obs"
 	"hrwle/internal/service"
 )
+
+// runPointCatching runs one profiled point, converting a simulation panic
+// (e.g. the RW-LE_basic retry-storm watchdog) into a returned value so the
+// caller can assert on the diagnostic.
+func runPointCatching(cfg service.Config, scheme string, prof *obs.Profile) (m *obs.ServiceMetrics, err error, panicked any) {
+	defer func() { panicked = recover() }()
+	m, _, err = service.RunPointProfiled(cfg, scheme, SchemeFactory(scheme), nil, prof)
+	return
+}
 
 // profTestConfig returns a small open-system point for profiler tests.
 func profTestConfig(t *testing.T, workload string) (service.Config, float64) {
@@ -26,20 +37,24 @@ func profTestConfig(t *testing.T, workload string) (service.Config, float64) {
 // scheme × workload: the attributed cycles sum exactly to
 // CPUs × sim_cycles, per CPU and per window.
 //
-// RW-LE_basic is excluded on kyoto and tpcc: Algorithm 1 has no capacity
-// fallback (see core/basic.go — "a write critical section that
-// persistently exceeds capacity can never complete"), and those workloads'
-// large write sections livelock it regardless of profiling.
+// RW-LE_basic has no capacity fallback (Algorithm 1), so on workloads
+// whose write sections overflow the HTM budget (kyoto, tpcc) the run must
+// *fail fast* through the retry-storm watchdog rather than livelock; those
+// points assert the diagnostic instead of the conservation invariant.
 func TestCycleConservationAllSchemes(t *testing.T) {
 	for _, wl := range ServeWorkloads() {
 		cfg, rate := profTestConfig(t, wl)
 		cfg.Arrivals.RatePerSec = rate
 		for _, scheme := range AllSchemes() {
-			if scheme == "RW-LE_basic" && wl != "hashmap" {
-				continue
-			}
 			prof := obs.NewProfile(100_000, len(cfg.Classes))
-			m, _, err := service.RunPointProfiled(cfg, scheme, SchemeFactory(scheme), nil, prof)
+			m, err, panicked := runPointCatching(cfg, scheme, prof)
+			if panicked != nil {
+				msg := fmt.Sprint(panicked)
+				if scheme == "RW-LE_basic" && strings.Contains(msg, "livelocked") {
+					continue // the watchdog fired fast with its diagnostic, as designed
+				}
+				t.Fatalf("%s/%s: panic: %v", wl, scheme, panicked)
+			}
 			if err != nil {
 				t.Fatalf("%s/%s: %v", wl, scheme, err)
 			}
@@ -79,6 +94,25 @@ func TestCycleConservationAllSchemes(t *testing.T) {
 			if rep.Cycles.Totals[obs.CatUseful]+rep.Cycles.Totals[obs.CatFallback] == 0 {
 				t.Errorf("%s/%s: no useful or fallback cycles attributed", wl, scheme)
 			}
+		}
+	}
+}
+
+// TestBasicWatchdogFailsFast pins the retry-storm watchdog: RW-LE_basic
+// on a workload whose write sections overflow the HTM budget must die
+// quickly with the livelock diagnostic, not spin to the virtual deadline.
+func TestBasicWatchdogFailsFast(t *testing.T) {
+	cfg, rate := profTestConfig(t, "kyoto")
+	cfg.Arrivals.RatePerSec = rate
+	prof := obs.NewProfile(100_000, len(cfg.Classes))
+	_, _, panicked := runPointCatching(cfg, "RW-LE_basic", prof)
+	if panicked == nil {
+		t.Fatal("RW-LE_basic survived kyoto; the capacity-livelock watchdog never fired")
+	}
+	msg := fmt.Sprint(panicked)
+	for _, want := range []string{"RW-LE_basic", "livelocked", "persistent aborts", "Algorithm 2"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("watchdog diagnostic %q missing %q", msg, want)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"hrwle/internal/hashmap"
 	"hrwle/internal/htm"
 	"hrwle/internal/machine"
+	"hrwle/internal/obs"
 	"hrwle/internal/rwlock"
 	"hrwle/internal/stats"
 )
@@ -88,7 +89,15 @@ func RunHashmap(ctx PointCtx, p HashmapParams, mk rwlock.Factory) Result {
 		}
 	})
 	b := stats.Merge(sys.Stats(p.Threads), cycles)
-	return Result{Cycles: cycles, B: b}
+	r := Result{Cycles: cycles, B: b}
+	if al, ok := lock.(interface {
+		AdaptiveState() (budget, winRate10 int, ok bool)
+	}); ok {
+		if budget, rate, on := al.AdaptiveState(); on {
+			r.Adaptive = &obs.AdaptiveState{Budget: budget, WinRate10: rate}
+		}
+	}
+	return r
 }
 
 // sensitivityFigure builds a figure spec for one capacity×contention

@@ -98,7 +98,7 @@ func (c *Config) applyDefaults() {
 // speculative writer and a bitmap of speculative readers.
 type dirEntry struct {
 	writer  *Thread
-	readers [2]uint64
+	readers [4]uint64
 }
 
 func (e *dirEntry) hasReader(id int) bool { return e.readers[id>>6]&(1<<(uint(id)&63)) != 0 }
@@ -107,7 +107,7 @@ func (e *dirEntry) delReader(id int)      { e.readers[id>>6] &^= 1 << (uint(id) 
 func (e *dirEntry) anyOtherReader(id int) bool {
 	r := e.readers
 	r[id>>6] &^= 1 << (uint(id) & 63)
-	return r[0]|r[1] != 0
+	return r[0]|r[1]|r[2]|r[3] != 0
 }
 
 // System is an HTM-capable simulated machine: the machine plus the conflict

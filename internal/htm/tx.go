@@ -272,7 +272,7 @@ func (t *Thread) doomAllNonTx(e *dirEntry, a machine.Addr) {
 }
 
 func (t *Thread) doomReaders(e *dirEntry, sourceTx bool, a machine.Addr) {
-	for w := 0; w < 2; w++ {
+	for w := 0; w < len(e.readers); w++ {
 		mask := e.readers[w]
 		for mask != 0 {
 			id := w<<6 + bits.TrailingZeros64(mask)

@@ -74,10 +74,10 @@ func newCPU(m *Machine, id int) *CPU {
 
 // Scheduling keys pack a CPU's (virtual time, ID) pair into one int64 —
 // now<<clockIDBits | ID — so the Sync fast path is a single comparison.
-// MaxCPUs = 128 makes the ID field exactly clockIDBits wide, and virtual
-// clocks stay far below 2^56 cycles (the deadline caps them at 1e14), so
+// MaxCPUs = 256 makes the ID field exactly clockIDBits wide, and virtual
+// clocks stay far below 2^55 cycles (the deadline caps them at 1e14), so
 // the shift cannot overflow.
-const clockIDBits = 7
+const clockIDBits = 8
 
 // minWake is a wake threshold below every valid key: it forces the next
 // Sync through syncSlow.

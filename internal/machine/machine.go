@@ -36,7 +36,7 @@ import (
 type Addr int64
 
 // MaxCPUs is the maximum number of simulated hardware threads.
-const MaxCPUs = 128
+const MaxCPUs = 256
 
 // PagingConfig configures the simulated virtual-memory subsystem.
 type PagingConfig struct {
@@ -113,18 +113,18 @@ func (cfg *Config) applyDefaults() {
 type line struct {
 	exclUntil int64
 	owner     int32
-	sharers   [2]uint64
+	sharers   [4]uint64
 }
 
 func (l *line) isSharer(id int) bool { return l.sharers[id>>6]&(1<<(uint(id)&63)) != 0 }
 func (l *line) addSharer(id int)     { l.sharers[id>>6] |= 1 << (uint(id) & 63) }
 func (l *line) setExclusive(id int) {
 	l.owner = int32(id)
-	l.sharers = [2]uint64{}
+	l.sharers = [4]uint64{}
 	l.addSharer(id)
 }
 func (l *line) onlySharer(id int) bool {
-	var want [2]uint64
+	var want [4]uint64
 	want[id>>6] = 1 << (uint(id) & 63)
 	return l.sharers == want
 }

@@ -95,6 +95,17 @@ type PointMetrics struct {
 	HotAddrs    []AddrConflicts  `json:"hot_addrs"`
 	Spans       []SpanStats      `json:"spans"`
 	Quiesce     HistJSON         `json:"quiesce_windows"`
+	// Adaptive is the self-tuning budget controller's end-of-run state,
+	// present only for schemes that run one (e.g. RW-LE_ADAPT).
+	Adaptive *AdaptiveState `json:"adaptive,omitempty"`
+}
+
+// AdaptiveState is the exportable end-of-run state of a self-tuning
+// HTM-budget controller: the budget it converged to and the last decision
+// window's HTM win rate in tenths (-1 = no HTM attempted that window).
+type AdaptiveState struct {
+	Budget    int `json:"budget"`
+	WinRate10 int `json:"win_rate_10"`
 }
 
 // Point finalizes the collector into a PointMetrics. The breakdown is

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"hrwle/internal/htm"
@@ -219,5 +220,92 @@ func TestWriteChromeTraceValidAndBalanced(t *testing.T) {
 	}
 	if len(out.TraceEvents) != 10 { // all input events minus the EvRead
 		t.Errorf("records = %d, want 10 (memory accesses must be skipped)", len(out.TraceEvents))
+	}
+}
+
+// TestTimelineMultipleSubscribers pins the fan-out contract of
+// Timeline.Subscribe: every subscriber sees every window exactly once, in
+// index order, with identical contents, and no window is delivered before
+// the per-CPU watermark — the minimum last-seen event time across CPUs —
+// has passed its end.
+func TestTimelineMultipleSubscribers(t *testing.T) {
+	const window, cpus, nsubs = 100, 2, 3
+	tl := NewTimeline(window, 0)
+
+	// fed[c] mirrors the event feed below: the last time fed to CPU c so
+	// far. The delivery callback uses it to check the watermark rule.
+	fed := [cpus]int64{}
+	finishing := false // Finish force-delivers the tail; exempt from the watermark rule
+	got := make([][]TimelineWindow, nsubs)
+	for i := 0; i < nsubs; i++ {
+		i := i
+		tl.Subscribe(func(w TimelineWindow) {
+			mark := fed[0]
+			if fed[1] < mark {
+				mark = fed[1]
+			}
+			if end := w.StartCycles + window; !finishing && end > mark {
+				t.Errorf("subscriber %d: window %d (end %d) delivered at watermark %d", i, w.Index, end, mark)
+			}
+			if n := len(got[i]); n > 0 && got[i][n-1].Index+1 != w.Index {
+				t.Errorf("subscriber %d: window %d after %d (out of order or duplicated)", i, w.Index, got[i][n-1].Index)
+			}
+			got[i] = append(got[i], w)
+		})
+	}
+	tl.Start(0, cpus)
+
+	emit := func(cpu int, at int64, kind machine.EventKind, aux uint64) {
+		fed[cpu] = at
+		tl.Event(machine.Event{Kind: kind, CPU: cpu, Time: at, Aux: aux})
+	}
+	// CPU 0 races ahead through window 2; windows 0 and 1 stay undelivered
+	// until CPU 1's stream passes their ends.
+	emit(0, 10, machine.EvTxBegin, 0)
+	emit(0, 80, machine.EvCSEnd, machine.PackCS(true, uint64(stats.CommitHTM), 1))
+	emit(0, 250, machine.EvTxBegin, 0)
+	if len(got[0]) != 0 {
+		t.Fatalf("window delivered while CPU 1 was silent (watermark at base): %+v", got[0])
+	}
+	emit(1, 120, machine.EvCSEnd, machine.PackCS(false, uint64(stats.CommitUninstrumented), 0))
+	if len(got[0]) != 1 {
+		t.Fatalf("CPU 1 at 120 should release exactly window 0, got %d windows", len(got[0]))
+	}
+	emit(1, 260, machine.EvTxBegin, 0)
+	if len(got[0]) != 2 {
+		t.Fatalf("both CPUs past 200 should release window 1, got %d windows", len(got[0]))
+	}
+	finishing = true
+	tl.Finish(300)
+
+	rep := tl.Report()
+	if len(rep.Windows) != 3 {
+		t.Fatalf("report has %d windows, want 3", len(rep.Windows))
+	}
+	for i := 0; i < nsubs; i++ {
+		if len(got[i]) != len(rep.Windows) {
+			t.Fatalf("subscriber %d saw %d windows, report has %d", i, len(got[i]), len(rep.Windows))
+		}
+	}
+	// Every subscriber saw the identical stream, equal to the report's
+	// event-derived series.
+	for i := 1; i < nsubs; i++ {
+		if !reflect.DeepEqual(got[0], got[i]) {
+			t.Errorf("subscribers 0 and %d diverged:\n%+v\nvs\n%+v", i, got[0], got[i])
+		}
+	}
+	for w, lw := range got[0] {
+		fw := rep.Windows[w]
+		if lw.TxBegins != fw.TxBegins || lw.CSEnds != fw.CSEnds || lw.CSWrites != fw.CSWrites ||
+			!reflect.DeepEqual(lw.Commits, fw.Commits) || !reflect.DeepEqual(lw.Aborts, fw.Aborts) {
+			t.Errorf("window %d: live series differs from final report: %+v vs %+v", w, lw, fw)
+		}
+	}
+	// Spot-check the routed contents.
+	if got[0][0].TxBegins != 1 || got[0][0].CSEnds != 1 || got[0][0].CSWrites != 1 {
+		t.Errorf("window 0 = %+v, want 1 begin / 1 end / 1 write", got[0][0])
+	}
+	if got[0][1].CSEnds != 1 || got[0][1].CSWrites != 0 {
+		t.Errorf("window 1 = %+v, want the CPU-1 read section", got[0][1])
 	}
 }

@@ -22,6 +22,8 @@ type TimelineWindow struct {
 	Commits  []int64      `json:"commits_by_path"`
 	Aborts   []int64      `json:"aborts_by_cause"`
 	CSEnds   int64        `json:"cs_ends"`
+	CSWrites int64        `json:"cs_writes"`              // write-side critical sections completed
+	LockWait int64        `json:"lock_wait_cycles"`       // spin/backoff wait cycles ending this window
 	Matrix   []MatrixCell `json:"abort_matrix,omitempty"` // killer→victim deltas this window
 
 	// Request-derived series (open-system runs only; filled by AddRequest
@@ -41,6 +43,8 @@ type tlWin struct {
 	commits  [stats.NumCommitPaths]int64
 	aborts   [stats.NumAbortCauses]int64
 	csEnds   int64
+	csWrites int64
+	lockWait int64
 	matrix   map[matrixKey]int64
 
 	arrivals, dequeues, drops, dones int64
@@ -116,6 +120,21 @@ func (tl *Timeline) win(t int64) *tlWin {
 
 // Event implements machine.Tracer.
 func (tl *Timeline) Event(e machine.Event) {
+	tl.accumulate(e)
+	if e.CPU >= 0 && e.CPU < len(tl.last) {
+		if e.Time > tl.last[e.CPU] {
+			tl.last[e.CPU] = e.Time
+		}
+		tl.seen[e.CPU] = true
+		tl.deliver()
+	}
+}
+
+// accumulate folds one event into its window without touching the
+// watermark state. ShardTimelines routes events here directly: it owns a
+// single machine-global watermark, so the per-shard timelines must not
+// gate delivery on their own (necessarily sparser) event streams.
+func (tl *Timeline) accumulate(e machine.Event) {
 	switch e.Kind {
 	case machine.EvTxBegin:
 		tl.win(e.Time).txBegins++
@@ -130,17 +149,18 @@ func (tl *Timeline) Event(e machine.Event) {
 	case machine.EvCSEnd:
 		w := tl.win(e.Time)
 		w.csEnds++
-		_, path, _ := machine.UnpackCS(e.Aux)
+		write, path, _ := machine.UnpackCS(e.Aux)
+		if write {
+			w.csWrites++
+		}
 		if path < uint64(stats.NumCommitPaths) {
 			w.commits[path]++
 		}
-	}
-	if e.CPU >= 0 && e.CPU < len(tl.last) {
-		if e.Time > tl.last[e.CPU] {
-			tl.last[e.CPU] = e.Time
-		}
-		tl.seen[e.CPU] = true
-		tl.deliver()
+	case machine.EvLockWait:
+		// The wait occupies [Time-Aux, Time]; attribute it wholly to the
+		// window in which it ends (the window split is not worth the cost
+		// at controller granularity).
+		tl.win(e.Time).lockWait += int64(e.Aux)
 	}
 }
 
@@ -199,6 +219,8 @@ func (tl *Timeline) snapshot(w int) TimelineWindow {
 		Commits:     make([]int64, stats.NumCommitPaths),
 		Aborts:      make([]int64, stats.NumAbortCauses),
 		CSEnds:      src.csEnds,
+		CSWrites:    src.csWrites,
+		LockWait:    src.lockWait,
 		Arrivals:    src.arrivals,
 		Dequeues:    src.dequeues,
 		Drops:       src.drops,
@@ -235,9 +257,36 @@ func (tl *Timeline) snapshot(w int) TimelineWindow {
 	return tw
 }
 
+// Advance delivers (and counts as delivered) every window that ends at or
+// before mark, materializing empty windows up to mark so that quiet
+// periods still produce subscription ticks. ShardTimelines drives this
+// from its machine-global watermark; the timeline's own per-CPU watermark
+// only ever lags it, so the shared `delivered` cursor keeps the two
+// delivery paths duplicate-free.
+func (tl *Timeline) Advance(mark int64) {
+	if mark > tl.base {
+		tl.win(mark - 1)
+	}
+	for tl.delivered < len(tl.wins) {
+		endT := tl.base + int64(tl.delivered+1)*tl.window
+		if endT > mark {
+			return
+		}
+		if len(tl.subs) > 0 {
+			tl.push(tl.delivered)
+		}
+		tl.delivered++
+	}
+}
+
 // AddRequest folds one request's lifecycle into the windows: arrival (and
 // drop) at arrive, dequeue at dequeue, completion and sojourn sample at
-// done. Call after the run, before Finish.
+// done. Closed-loop exporters call it after the run; the shard runner
+// calls it live at completion time, which is safe because the watermark
+// can never have passed a completion instant the completing CPU has just
+// reached (delivered windows may undercount *arrivals* that happened
+// while the request sat queued — the live signal a subscriber sees is the
+// done/sojourn series, and Report recomputes every window from scratch).
 func (tl *Timeline) AddRequest(class int, arrive, dequeue, done int64, dropped bool) {
 	aw := tl.win(arrive)
 	aw.arrivals++

@@ -64,8 +64,32 @@ func GenerateSchedule(cfg Config) ([]Request, error) {
 			r.Footprint = int(fp)
 		}
 		r.Path = -1
+		r.Key, r.Key2 = -1, -1
 	}
+	assignKeys(&c, reqs)
 	return reqs, nil
+}
+
+// assignKeys fills each request's Zipfian key(s) from the dedicated key
+// stream. Exactly three key-stream draws per request — the cross-shard
+// percent draw and the secondary-key draw happen even when discarded — so
+// changing CrossPct (or a request being a read) never shifts the keys of
+// later requests.
+func assignKeys(c *Config, reqs []Request) {
+	if c.Keys.Universe <= 0 {
+		return
+	}
+	z := NewZipf(c.Keys.Universe, c.Keys.Skew)
+	ks := machine.NewStream(keySeed(c.Seed))
+	for i := range reqs {
+		r := &reqs[i]
+		r.Key = z.Sample(ks)
+		cross := ks.Intn(100) < c.Keys.CrossPct
+		k2 := z.Sample(ks)
+		if r.IsWrite && cross {
+			r.Key2 = k2
+		}
+	}
 }
 
 // arrivalTimes draws n arrival instants (cycles) for the process.

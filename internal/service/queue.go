@@ -1,6 +1,7 @@
 package service
 
-// queue is the bounded strict-priority dispatch queue. It lives in host
+// Queue is the bounded strict-priority dispatch queue shared by the
+// service and shard runners. It lives in host
 // memory, which is safe because every access happens from a CPU that has
 // just passed Sync: the engine only lets a CPU act when it holds the
 // global minimum (time, ID), so queue operations are linearized in
@@ -11,7 +12,7 @@ package service
 // own arrival time, before later arrivals are considered) — so the queue
 // state at any virtual instant is identical to an eager event-driven
 // simulation, without needing an arrival-injector CPU.
-type queue struct {
+type Queue struct {
 	reqs    []Request // the full schedule, in arrival order
 	next    int       // first schedule entry not yet ingested
 	cap     int
@@ -22,12 +23,12 @@ type queue struct {
 	dropped int64
 }
 
-func newQueue(reqs []Request, capacity, classes int) *queue {
-	return &queue{reqs: reqs, cap: capacity, classes: classes}
+func NewQueue(reqs []Request, capacity, classes int) *Queue {
+	return &Queue{reqs: reqs, cap: capacity, classes: classes}
 }
 
 // ingest admits every arrival scheduled at or before now.
-func (q *queue) ingest(now int64) {
+func (q *Queue) ingest(now int64) {
 	for q.next < len(q.reqs) && q.reqs[q.next].ArriveAt <= now {
 		i := q.next
 		q.next++
@@ -42,10 +43,10 @@ func (q *queue) ingest(now int64) {
 	}
 }
 
-// pop ingests arrivals up to now and returns the index of the
+// Pop ingests arrivals up to now and returns the index of the
 // highest-priority queued request, or ok=false if the queue is empty at
 // this instant.
-func (q *queue) pop(now int64) (idx int, ok bool) {
+func (q *Queue) Pop(now int64) (idx int, ok bool) {
 	q.ingest(now)
 	for c := 0; c < q.classes; c++ {
 		if q.heads[c] < len(q.fifo[c]) {
@@ -58,15 +59,15 @@ func (q *queue) pop(now int64) (idx int, ok bool) {
 	return 0, false
 }
 
-// drained reports whether every scheduled arrival has been ingested and
+// Drained reports whether every scheduled arrival has been ingested and
 // the queue is empty.
-func (q *queue) drained() bool {
+func (q *Queue) Drained() bool {
 	return q.next == len(q.reqs) && q.queued == 0
 }
 
-// nextArrival returns the arrival time of the earliest not-yet-ingested
+// NextArrival returns the arrival time of the earliest not-yet-ingested
 // request; ok=false when the schedule is exhausted.
-func (q *queue) nextArrival() (t int64, ok bool) {
+func (q *Queue) NextArrival() (t int64, ok bool) {
 	if q.next >= len(q.reqs) {
 		return 0, false
 	}

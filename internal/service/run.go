@@ -52,7 +52,7 @@ func RunPointProfiled(cfg Config, scheme string, mk rwlock.Factory, observe func
 		return nil, nil, err
 	}
 
-	q := newQueue(reqs, cfg.QueueCap, len(cfg.Classes))
+	q := NewQueue(reqs, cfg.QueueCap, len(cfg.Classes))
 	if prof != nil {
 		prof.Start(m.Now(), cfg.Servers)
 		if t := m.Tracer(); t != nil {
@@ -68,9 +68,9 @@ func RunPointProfiled(cfg Config, scheme string, mk rwlock.Factory, observe func
 			// host-side queue below is only ever touched in nondecreasing
 			// virtual time — see the queue type comment.
 			c.Sync()
-			idx, ok := q.pop(c.Now())
+			idx, ok := q.Pop(c.Now())
 			if !ok {
-				if t, more := q.nextArrival(); more {
+				if t, more := q.NextArrival(); more {
 					c.IdleUntil(t)
 					continue
 				}
@@ -85,7 +85,7 @@ func RunPointProfiled(cfg Config, scheme string, mk rwlock.Factory, observe func
 			c.Tick(r.Work) // pre-CS local compute (parse, app logic)
 			before := th.St.Commits
 			ex.exec(r, c, th)
-			r.Path = dominantPath(before, th.St.Commits)
+			r.Path = DominantPath(before, th.St.Commits)
 			r.DoneAt = c.Now()
 		}
 	})
@@ -97,13 +97,13 @@ func RunPointProfiled(cfg Config, scheme string, mk rwlock.Factory, observe func
 		prof.Finish(m.Now())
 	}
 	b := stats.Merge(sys.Stats(cfg.Servers), cycles)
-	return assemble(&cfg, scheme, q.reqs, cycles, &b), q.reqs, nil
+	return Assemble(&cfg, scheme, q.reqs, cycles, &b), q.reqs, nil
 }
 
-// dominantPath returns the commit path most of the request's critical
+// DominantPath returns the commit path most of the request's critical
 // sections took (ties break toward the smaller path index, i.e. the more
 // speculative path); -1 when no critical section committed a path delta.
-func dominantPath(before, after [stats.NumCommitPaths]int64) int8 {
+func DominantPath(before, after [stats.NumCommitPaths]int64) int8 {
 	best, bestN := -1, int64(0)
 	for i := 0; i < stats.NumCommitPaths; i++ {
 		if d := after[i] - before[i]; d > bestN {
@@ -113,10 +113,10 @@ func dominantPath(before, after [stats.NumCommitPaths]int64) int8 {
 	return int8(best)
 }
 
-// assemble folds the completed schedule into a ServiceMetrics. Quantiles
+// Assemble folds the completed schedule into a ServiceMetrics. Quantiles
 // cover measured requests: served, past the warmup prefix of the arrival
 // order.
-func assemble(cfg *Config, scheme string, reqs []Request, cycles int64, b *stats.Breakdown) *obs.ServiceMetrics {
+func Assemble(cfg *Config, scheme string, reqs []Request, cycles int64, b *stats.Breakdown) *obs.ServiceMetrics {
 	warmup := int(cfg.WarmupFrac * float64(len(reqs)))
 	out := &obs.ServiceMetrics{
 		Workload:       cfg.Workload,

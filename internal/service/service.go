@@ -110,6 +110,25 @@ type Config struct {
 	// Hashmap sizing (ignored by kyoto/tpcc, which size themselves).
 	HashBuckets int64
 	HashItems   int64
+
+	// Keys, when Universe > 0, gives every request a Zipfian primary key
+	// (and possibly a secondary key) drawn from a dedicated stream — the
+	// keyed-demand extension the sharded deployment routes on. The zero
+	// value disables keyed demand and leaves the schedule bytes of every
+	// existing workload untouched.
+	Keys KeyConfig
+}
+
+// KeyConfig parameterizes keyed demand: which key(s) each request touches.
+type KeyConfig struct {
+	Universe int     // distinct keys; 0 disables keyed demand
+	Skew     float64 // Zipf exponent s over key ranks (0 = uniform)
+	// CrossPct is the percent of *write* requests that also touch a
+	// second, independently drawn key — the multi-key transactions that
+	// may span shards. The secondary draw happens for every request
+	// regardless (and is discarded when unused), so changing CrossPct
+	// never shifts the primary keys of later requests.
+	CrossPct int
 }
 
 // DefaultClasses returns the standard 3-class service mix: a
@@ -206,8 +225,22 @@ func (c *Config) applyDefaults() error {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Keys.Universe > 0 {
+		if c.Keys.Skew < 0 {
+			return fmt.Errorf("service: key skew %v negative", c.Keys.Skew)
+		}
+		if c.Keys.CrossPct < 0 || c.Keys.CrossPct > 100 {
+			return fmt.Errorf("service: CrossPct %d outside [0,100]", c.Keys.CrossPct)
+		}
+	}
 	return nil
 }
+
+// Normalize applies defaults in place and validates the config. Exported
+// for runners outside the package (the shard deployment) that need the
+// defaulted values — server count, class list, queue bound — before
+// generating the schedule.
+func (c *Config) Normalize() error { return c.applyDefaults() }
 
 // Request is one generated arrival: the open-loop schedule entry plus the
 // fields the run fills in. The schedule fields (ArriveAt through Seed) are
@@ -220,6 +253,8 @@ type Request struct {
 	Work      int64  // pre-CS local compute, cycles
 	Footprint int    // keys (hashmap) or ops (kyoto/tpcc)
 	Seed      uint64 // per-request parameter stream seed
+	Key       int    // Zipfian primary key rank; -1 when keyed demand is off
+	Key2      int    // secondary key of a multi-key write; -1 if none
 
 	Dropped   bool
 	Server    int   // CPU that served it
@@ -233,6 +268,14 @@ type Request struct {
 // cannot perturb the other.
 func scheduleSeed(seed uint64) uint64 {
 	return seed*0x9e3779b97f4a7c15 + 0x5161736b6f6f70 // "Qask oop"
+}
+
+// keySeed derives the keyed-demand stream seed. Keys come from their own
+// stream (distinct from both the machine and the arrival schedule) so
+// turning keyed demand on or changing the key universe cannot shift the
+// arrival times, class mix, or demand draws of any request.
+func keySeed(seed uint64) uint64 {
+	return seed*0x9e3779b97f4a7c15 + 0x6b65797374726d // "keystrm"
 }
 
 // NewScheduleStream returns the stream the schedule generator draws from.

@@ -153,11 +153,11 @@ func TestQueueDropsAndConservation(t *testing.T) {
 		{ArriveAt: 40, Class: 0}, // arrives when queue is full → dropped
 		{ArriveAt: 500, Class: 0},
 	}
-	q := newQueue(reqs, 3, 2)
+	q := NewQueue(reqs, 3, 2)
 
 	// At t=45 the first three arrivals fill the cap-3 queue; the fourth is
 	// dropped at its own arrival time.
-	idx, ok := q.pop(45)
+	idx, ok := q.Pop(45)
 	if !ok || idx != 1 {
 		t.Fatalf("first pop = %d,%v; want the class-0 arrival (1)", idx, ok)
 	}
@@ -165,22 +165,22 @@ func TestQueueDropsAndConservation(t *testing.T) {
 		t.Fatal("over-cap arrival was not dropped")
 	}
 	// Remaining class-1 requests come out FIFO.
-	if idx, ok = q.pop(46); !ok || idx != 0 {
+	if idx, ok = q.Pop(46); !ok || idx != 0 {
 		t.Fatalf("second pop = %d,%v; want 0", idx, ok)
 	}
-	if idx, ok = q.pop(47); !ok || idx != 2 {
+	if idx, ok = q.Pop(47); !ok || idx != 2 {
 		t.Fatalf("third pop = %d,%v; want 2", idx, ok)
 	}
-	if _, ok = q.pop(48); ok {
+	if _, ok = q.Pop(48); ok {
 		t.Fatal("pop before the last arrival should report empty")
 	}
-	if next, more := q.nextArrival(); !more || next != 500 {
+	if next, more := q.NextArrival(); !more || next != 500 {
 		t.Fatalf("nextArrival = %d,%v; want 500", next, more)
 	}
-	if idx, ok = q.pop(500); !ok || idx != 4 {
+	if idx, ok = q.Pop(500); !ok || idx != 4 {
 		t.Fatalf("final pop = %d,%v; want 4", idx, ok)
 	}
-	if !q.drained() {
+	if !q.Drained() {
 		t.Fatal("queue not drained after serving everything")
 	}
 	served := 0

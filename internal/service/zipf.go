@@ -1,0 +1,73 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hrwle/internal/machine"
+)
+
+// Zipf samples ranks in [0, n) with P(k) ∝ 1/(k+1)^s — rank 0 is the
+// hottest key. The sampler is exact for every s ≥ 0 (s = 0 degenerates to
+// uniform): the normalized CDF is precomputed once and each draw is one
+// Float64 plus a binary search. The O(n) table costs 8 bytes per rank,
+// which at the multi-million-key universes the shard workload uses is a
+// few MB per measurement point — paid once per machine, not per draw.
+//
+// Rejection-style samplers (as in math/rand's Zipf) need s > 1 and would
+// exclude the s = 0.9 sweep point; the table is exact at any exponent and
+// keeps the draw count per sample fixed at one, which the determinism
+// tests pin.
+type Zipf struct {
+	n   int
+	s   float64
+	cdf []float64 // cdf[k] = P(X ≤ k); cdf[n-1] == 1 by construction
+}
+
+// NewZipf builds a sampler over ranks [0, n) with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("service: Zipf universe %d (want > 0)", n))
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("service: Zipf exponent %v (want ≥ 0)", s))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	inv := 1 / sum
+	for k := range cdf {
+		cdf[k] *= inv
+	}
+	cdf[n-1] = 1 // normalization rounding must not leave a reachable gap
+	return &Zipf{n: n, s: s, cdf: cdf}
+}
+
+// N returns the universe size.
+func (z *Zipf) N() int { return z.n }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// PMF returns the analytic probability of rank k (tests compare empirical
+// frequencies against it).
+func (z *Zipf) PMF(k int) float64 {
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}
+
+// Sample draws one rank from the stream: exactly one Float64 per call.
+func (z *Zipf) Sample(st *machine.Stream) int {
+	u := st.Float64()
+	k := sort.SearchFloat64s(z.cdf, u)
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}

@@ -1,0 +1,159 @@
+package service
+
+import (
+	"math"
+	"testing"
+
+	"hrwle/internal/machine"
+)
+
+// TestZipfDeterministic pins that two samplers built from the same
+// parameters, fed by streams with the same seed, produce identical rank
+// sequences — the property every shard-sweep determinism gate rests on.
+func TestZipfDeterministic(t *testing.T) {
+	for _, s := range []float64{0, 0.9, 1.2} {
+		a, b := NewZipf(4096, s), NewZipf(4096, s)
+		sa, sb := machine.NewStream(42), machine.NewStream(42)
+		for i := 0; i < 10_000; i++ {
+			ka, kb := a.Sample(sa), b.Sample(sb)
+			if ka != kb {
+				t.Fatalf("s=%v draw %d: %d vs %d", s, i, ka, kb)
+			}
+		}
+	}
+}
+
+// TestZipfSeedSensitivity checks that distinct stream seeds give distinct
+// sequences: a sampler that ignored its stream would still pass the
+// determinism test.
+func TestZipfSeedSensitivity(t *testing.T) {
+	z := NewZipf(1<<16, 0.9)
+	sa, sb := machine.NewStream(1), machine.NewStream(2)
+	same := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		if z.Sample(sa) == z.Sample(sb) {
+			same++
+		}
+	}
+	// At s=0.9 over 64k ranks, collisions concentrate on the head but two
+	// independent streams still disagree on the vast majority of draws.
+	if same > draws/2 {
+		t.Fatalf("seeds 1 and 2 agreed on %d/%d draws", same, draws)
+	}
+}
+
+// TestZipfFrequency draws a large sample and compares empirical rank
+// frequencies to the analytic pmf within a pinned tolerance band: the top
+// ranks (where mass concentrates) must match to a few percent relative
+// error, and the total variation distance over the whole support must be
+// small. Tolerances have ~3x headroom over the observed error at this
+// sample size, so the test fails on a wrong distribution, not on noise.
+func TestZipfFrequency(t *testing.T) {
+	const (
+		n     = 1000
+		draws = 400_000
+	)
+	for _, s := range []float64{0, 0.9, 1.2} {
+		z := NewZipf(n, s)
+		st := machine.NewStream(7)
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Sample(st)]++
+		}
+		tv := 0.0
+		for k := 0; k < n; k++ {
+			emp := float64(counts[k]) / draws
+			tv += math.Abs(emp - z.PMF(k))
+		}
+		tv /= 2
+		if tv > 0.02 {
+			t.Errorf("s=%v: total variation %.4f > 0.02", s, tv)
+		}
+		for k := 0; k < 10; k++ {
+			emp := float64(counts[k]) / draws
+			pmf := z.PMF(k)
+			// 2% systematic band plus 5 binomial standard errors: tight on
+			// the heavy head, sampling-noise-aware on near-uniform tails.
+			tol := 0.02*pmf + 5*math.Sqrt(pmf*(1-pmf)/draws)
+			if math.Abs(emp-pmf) > tol {
+				t.Errorf("s=%v rank %d: empirical %.5f vs pmf %.5f (|err| > %.5f)",
+					s, k, emp, pmf, tol)
+			}
+		}
+	}
+}
+
+// TestZipfPMFSumsToOne sanity-checks the table normalization.
+func TestZipfPMFSumsToOne(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 0.9, 1.2, 2} {
+		z := NewZipf(257, s)
+		sum := 0.0
+		for k := 0; k < z.N(); k++ {
+			sum += z.PMF(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("s=%v: pmf sums to %v", s, sum)
+		}
+	}
+}
+
+// TestKeyedScheduleInvariance pins the keyed-demand isolation properties:
+// (a) enabling keys does not change any pre-existing schedule field, and
+// (b) changing CrossPct changes only which requests carry a secondary key,
+// never the primary keys.
+func TestKeyedScheduleInvariance(t *testing.T) {
+	base := DefaultConfig("hashmap")
+	base.Requests = 500
+	base.Arrivals.RatePerSec = 1e6
+
+	plain, err := GenerateSchedule(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyed := base
+	keyed.Keys = KeyConfig{Universe: 1 << 12, Skew: 1.2, CrossPct: 10}
+	withKeys, err := GenerateSchedule(keyed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		p, k := plain[i], withKeys[i]
+		if p.ArriveAt != k.ArriveAt || p.Class != k.Class || p.IsWrite != k.IsWrite ||
+			p.Work != k.Work || p.Footprint != k.Footprint || p.Seed != k.Seed {
+			t.Fatalf("request %d: keyed demand perturbed the base schedule", i)
+		}
+		if p.Key != -1 || p.Key2 != -1 {
+			t.Fatalf("request %d: keys assigned with keyed demand off", i)
+		}
+		if k.Key < 0 || k.Key >= 1<<12 {
+			t.Fatalf("request %d: key %d outside universe", i, k.Key)
+		}
+		if k.Key2 != -1 && !k.IsWrite {
+			t.Fatalf("request %d: secondary key on a read", i)
+		}
+	}
+
+	noCross := keyed
+	noCross.Keys.CrossPct = 0
+	without, err := GenerateSchedule(noCross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyCross := false
+	for i := range withKeys {
+		if withKeys[i].Key != without[i].Key {
+			t.Fatalf("request %d: CrossPct shifted primary key %d -> %d",
+				i, withKeys[i].Key, without[i].Key)
+		}
+		if without[i].Key2 != -1 {
+			t.Fatalf("request %d: secondary key with CrossPct=0", i)
+		}
+		if withKeys[i].Key2 != -1 {
+			anyCross = true
+		}
+	}
+	if !anyCross {
+		t.Fatal("CrossPct=10 produced no multi-key request in 500 arrivals")
+	}
+}

@@ -1,0 +1,534 @@
+// Package shard implements the production-shape scale-out deployment of
+// ROADMAP item 2: a sharded KV store over the virtual-time machine at
+// 64–256 simulated CPUs. Millions of keys are hash-partitioned across
+// 4–64 shards, each shard a chained hashmap protected by its own rwlock
+// instance; traffic comes from the open-loop arrival generator with a
+// seeded Zipfian hot-key sampler, plus a small fraction of cross-shard
+// multi-key transactions executed under ordered two-phase shard
+// acquisition (deadlock-free by construction, deterministic like
+// everything else in the simulator).
+//
+// Each shard can run a *different* lock scheme, and can change scheme
+// online: the per-shard adaptive controller (controller.go) watches the
+// shard's obs.Timeline windows and requests switches, which the
+// deployment applies at a safe quiesced boundary — the first instant the
+// shard has no critical section in flight and no exclusive (cross-shard)
+// holder. Entry to a shard is gated host-side under CPU.Sync(), the same
+// linearization argument as the service queue: a CPU only touches the
+// gate while it holds the global minimum (time, ID), so gate state
+// evolves in nondecreasing virtual time and the run is a pure function
+// of the seeds at any host worker count.
+package shard
+
+import (
+	"fmt"
+
+	"hrwle/internal/hashmap"
+	"hrwle/internal/htm"
+	"hrwle/internal/machine"
+	"hrwle/internal/obs"
+	"hrwle/internal/rwlock"
+	"hrwle/internal/service"
+	"hrwle/internal/stats"
+)
+
+// Scheme pairs a lock-scheme name with its factory. The harness supplies
+// these (from its scheme registry) so this package stays decoupled from
+// scheme construction. For adaptive runs the palette is ordered from most
+// speculative to least — the controller's escalation ladder walks the
+// palette by index (RW-LE → HLE → SGL with the default palette).
+type Scheme struct {
+	Name string
+	Mk   rwlock.Factory
+}
+
+// Config describes one sharded measurement point. The embedded
+// service.Config supplies the open-system shape (servers, arrivals,
+// classes, queue bound, keyed demand via Keys); the shard fields add the
+// partitioning and the controller's window geometry.
+type Config struct {
+	service.Config
+
+	Shards         int   // hash partitions (4–64 in the sweep)
+	ItemsPerBucket int64 // initial chain depth per bucket (HTM capacity knob)
+	Window         int64 // timeline window width, cycles (controller tick)
+	PollCycles     int64 // shard-gate poll interval while blocked
+
+	Ctrl ControllerConfig // thresholds for adaptive runs (palette > 1)
+}
+
+// DefaultConfig returns the baseline sharded point: 64 serving CPUs over
+// 16 shards of a 2M-key store under the read-dominated mix of
+// DefaultClasses. The 50k-cycle window gives the controller tens of
+// decision ticks even on short calibration runs (6000 requests at the
+// default load span ~10.5M cycles).
+func DefaultConfig() Config {
+	c := Config{
+		Config:         service.DefaultConfig("shardkv"),
+		Shards:         16,
+		ItemsPerBucket: 8,
+		Window:         50_000,
+		PollCycles:     40,
+		Ctrl:           DefaultControllerConfig(),
+	}
+	c.Servers = 64
+	c.Requests = 6000
+	c.QueueCap = 2048
+	c.Classes = DefaultClasses()
+	c.Keys = service.KeyConfig{Universe: 1 << 21, Skew: 0.9, CrossPct: 4}
+	return c
+}
+
+// DefaultClasses is the sharded-store request mix: a read-dominated KV
+// front-end (GET-heavy interactive and standard tiers, a write-heavy
+// batch tier). Read-dominance is where the scheme choice is interesting:
+// RW-LE's uninstrumented reads win on quiet shards, while the Zipfian
+// hot shard — where writers collide — wants HLE's symmetric speculation
+// or, past the thrash point, the plain global lock.
+func DefaultClasses() []service.Class {
+	return []service.Class{
+		{Name: "interactive", Share: 40, WritePct: 2,
+			Work: service.Pareto(600, 2.5), Footprint: service.Fixed(1)},
+		{Name: "standard", Share: 50, WritePct: 10,
+			Work: service.Pareto(1200, 2.0), Footprint: service.Bimodal(2, 0.9, 6)},
+		{Name: "batch", Share: 10, WritePct: 60,
+			Work: service.Pareto(4000, 1.5), Footprint: service.Pareto(4, 1.8)},
+	}
+}
+
+// normalize validates and defaults the shard-specific fields (the
+// embedded service config normalizes itself).
+func (c *Config) normalize() error {
+	if err := c.Config.Normalize(); err != nil {
+		return err
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.ItemsPerBucket <= 0 {
+		c.ItemsPerBucket = 8
+	}
+	if c.Window <= 0 {
+		c.Window = 50_000
+	}
+	if c.PollCycles <= 0 {
+		c.PollCycles = 40
+	}
+	if c.Keys.Universe <= 0 {
+		return fmt.Errorf("shard: keyed demand required (Keys.Universe = %d)", c.Keys.Universe)
+	}
+	if c.Keys.Universe < c.Shards {
+		return fmt.Errorf("shard: universe %d smaller than %d shards", c.Keys.Universe, c.Shards)
+	}
+	c.Ctrl.normalize()
+	return nil
+}
+
+// SwitchEvent is one applied scheme switch, in virtual-time order.
+type SwitchEvent struct {
+	AtCycles int64  `json:"at_cycles"`
+	Shard    int    `json:"shard"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+}
+
+// ShardStats summarizes one shard's run.
+type ShardStats struct {
+	Shard    int    `json:"shard"`
+	Ops      int64  `json:"ops"`      // critical sections executed against it
+	Writes   int64  `json:"writes"`   // write sections among Ops
+	CrossTx  int64  `json:"cross_tx"` // multi-shard transactions it took part in
+	Switches int    `json:"switches"` // scheme switches applied
+	Final    string `json:"final_scheme"`
+}
+
+// Result is one sharded point's outcome.
+type Result struct {
+	Service  *obs.ServiceMetrics `json:"service"`
+	Shards   []ShardStats        `json:"shards"`
+	Switches []SwitchEvent       `json:"switches,omitempty"`
+	CrossTx  int64               `json:"cross_tx"`
+}
+
+// shardState is one shard's host-side gate plus its store. All fields
+// below the store handles are mutated only by a CPU that has just passed
+// Sync (or while it holds the floor between Syncs, for pure counters).
+type shardState struct {
+	h        *hashmap.Map
+	universe uint64 // keys populated: [0, universe)
+	locks    []rwlock.Lock
+
+	active   int // palette index in force
+	pending  int // palette index requested; applied at quiesce
+	inflight int // critical sections currently inside
+	excl     int // CPU holding/reserving exclusive access; -1 none
+
+	ops, writes, crossTx int64
+	switches             int
+}
+
+// srv is one serving CPU's hoisted critical-section state (closures
+// passed through rwlock.Lock escape; per-op literals would allocate).
+type srv struct {
+	th   *htm.Thread
+	h    *hashmap.Map
+	key  uint64
+	val  uint64
+	node machine.Addr
+	used bool
+
+	lookupCS, updateCS func()
+}
+
+// deployment wires the machine, the shards and the telemetry together.
+type deployment struct {
+	cfg     *Config
+	names   []string
+	shards  []shardState
+	srvs    []srv
+	tl      *obs.ShardTimelines
+	reqs    []service.Request
+	q       *service.Queue
+	sw      []SwitchEvent
+	perU    uint64 // per-shard key universe
+	nshards uint64
+}
+
+// mix64 is the splitmix64 finalizer: the key-routing hash. A plain `mod
+// shards` would map the Zipf head (ranks 0,1,2,...) onto distinct shards
+// in rank order, hiding exactly the hot-shard imbalance the deployment
+// exists to study.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// route maps a global key rank to its shard and its key within the
+// shard's populated universe.
+func (d *deployment) route(rank int) (shard int, inKey uint64) {
+	h := mix64(uint64(rank))
+	return int(h % d.nshards), (h / d.nshards) % d.perU
+}
+
+// memWords sizes simulated memory: line-aligned nodes for every key,
+// bucket-head arrays, lock metadata per shard per palette entry (BRLock-
+// style schemes allocate a line per CPU, so budget generously), spare
+// nodes, and slack.
+func memWords(c *Config, palette int) int64 {
+	keys := int64(c.Keys.Universe)
+	buckets := keys/c.ItemsPerBucket + int64(c.Shards)*32
+	lockW := int64(c.Shards) * int64(palette) * int64(c.Servers+16) * 16
+	return keys*16 + buckets + lockW + int64(c.Servers)*32 + 1<<16
+}
+
+// Run executes one sharded point. palette must hold at least one scheme;
+// with more than one the adaptive controller drives per-shard switching,
+// starting every shard on palette[0]. observe, if non-nil, receives the
+// machine before the run starts (tracer attachment; the shard timeline
+// router is composed with whatever it installs).
+func Run(cfg Config, palette []Scheme, observe func(*machine.Machine)) (*Result, error) {
+	if len(palette) == 0 {
+		return nil, fmt.Errorf("shard: empty scheme palette")
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	reqs, err := service.GenerateSchedule(cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+
+	m := machine.New(machine.Config{
+		CPUs:     cfg.Servers,
+		MemWords: memWords(&cfg, len(palette)),
+		Seed:     cfg.Seed,
+	})
+	if observe != nil {
+		observe(m)
+	}
+	sys := htm.NewSystem(m, htm.Config{})
+
+	d := &deployment{
+		cfg:     &cfg,
+		shards:  make([]shardState, cfg.Shards),
+		srvs:    make([]srv, cfg.Servers),
+		reqs:    reqs,
+		nshards: uint64(cfg.Shards),
+	}
+	for _, s := range palette {
+		d.names = append(d.names, s.Name)
+	}
+	buckets := int64(cfg.Keys.Universe/cfg.Shards) / cfg.ItemsPerBucket
+	if buckets < 1 {
+		buckets = 1
+	}
+	// perU is the *populated* per-shard universe. Routing reduces keys
+	// modulo it, so every mapped key exists in its shard's store and a
+	// write is always an in-place update (never a node-consuming insert).
+	d.perU = uint64(buckets * cfg.ItemsPerBucket)
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.h = hashmap.New(m, buckets)
+		sh.h.Populate(cfg.ItemsPerBucket)
+		sh.universe = uint64(buckets * cfg.ItemsPerBucket)
+		sh.locks = make([]rwlock.Lock, len(palette))
+		for j, s := range palette {
+			sh.locks[j] = s.Mk(sys)
+		}
+		sh.excl = -1
+	}
+	for i := range d.srvs {
+		v := &d.srvs[i]
+		v.th = sys.Thread(i)
+		v.node = v.th.AllocAligned(3) // never consumed: the universe is fully populated
+		v.lookupCS = func() { v.h.Lookup(v.th, v.key) }
+		v.updateCS = func() { v.used = v.h.Insert(v.th, v.key, v.val, v.node) }
+	}
+
+	d.tl = obs.NewShardTimelines(cfg.Window, cfg.Shards, len(cfg.Classes))
+	var ctrl *Controller
+	if len(palette) > 1 {
+		ctrl = NewController(cfg.Ctrl, len(palette), cfg.Shards, func(s, scheme int) {
+			d.shards[s].pending = scheme
+		})
+		for s := range d.shards {
+			s := s
+			d.tl.Shards[s].Subscribe(func(w obs.TimelineWindow) { ctrl.Observe(s, w) })
+		}
+	}
+	if t := m.Tracer(); t != nil {
+		m.SetTracer(machine.MultiTracer{t, d.tl})
+	} else {
+		m.SetTracer(d.tl)
+	}
+	d.tl.Start(m.Now(), cfg.Servers)
+
+	d.q = service.NewQueue(reqs, cfg.QueueCap, len(cfg.Classes))
+	cycles := m.Run(cfg.Servers, d.serve)
+
+	// Dropped requests never reached a server: attribute them to their
+	// primary shard's timeline post-run (served ones were fed live).
+	for i := range reqs {
+		r := &reqs[i]
+		if r.Dropped {
+			s, _ := d.route(r.Key)
+			d.tl.Shards[s].AddRequest(r.Class, r.ArriveAt, 0, 0, true)
+		}
+	}
+	d.tl.Finish(m.Now())
+
+	b := stats.Merge(sys.Stats(cfg.Servers), cycles)
+	label := palette[0].Name
+	if len(palette) > 1 {
+		label = "adaptive"
+	}
+	res := &Result{
+		Service:  service.Assemble(&cfg.Config, label, reqs, cycles, &b),
+		Switches: d.sw,
+	}
+	for i := range d.shards {
+		sh := &d.shards[i]
+		res.Shards = append(res.Shards, ShardStats{
+			Shard: i, Ops: sh.ops, Writes: sh.writes, CrossTx: sh.crossTx,
+			Switches: sh.switches, Final: d.names[sh.active],
+		})
+		res.CrossTx += sh.crossTx
+	}
+	res.CrossTx /= 2 // each cross-shard tx was counted by both shards
+	return res, nil
+}
+
+// serve is the per-CPU server loop: dispatch from the shared queue, route
+// by key, execute against the owning shard(s).
+func (d *deployment) serve(c *machine.CPU) {
+	cfg := d.cfg
+	th := d.srvs[c.ID].th
+	for {
+		c.Sync()
+		idx, ok := d.q.Pop(c.Now())
+		if !ok {
+			if t, more := d.q.NextArrival(); more {
+				c.IdleUntil(t)
+				continue
+			}
+			return
+		}
+		r := &d.reqs[idx]
+		r.Server = c.ID
+		r.DequeueAt = c.Now()
+		c.Tick(cfg.DispatchCycles)
+		c.Tick(r.Work)
+		before := th.St.Commits
+		primary := d.exec(c, th, r)
+		r.Path = service.DominantPath(before, th.St.Commits)
+		r.DoneAt = c.Now()
+		// Live telemetry: safe because the watermark cannot have passed
+		// this CPU's current instant (see Timeline.AddRequest).
+		d.tl.Shards[primary].AddRequest(r.Class, r.ArriveAt, r.DequeueAt, r.DoneAt, false)
+	}
+}
+
+// exec runs one request's structure work and returns its primary shard.
+func (d *deployment) exec(c *machine.CPU, th *htm.Thread, r *service.Request) int {
+	s1, in1 := d.route(r.Key)
+	if r.Key2 >= 0 {
+		if s2, in2 := d.route(r.Key2); s2 != s1 {
+			d.execCross(c, th, r, s1, in1, s2, in2)
+			return s1
+		}
+	}
+	d.enter(c, s1)
+	sh := &d.shards[s1]
+	lock := sh.locks[sh.active]
+	d.tl.SetShard(c.ID, s1)
+	d.ops(c, th, sh, lock, r, in1)
+	if r.Key2 >= 0 {
+		// Same-shard multi-key write: one extra update, already atomic
+		// under the shard's lock discipline.
+		_, in2 := d.route(r.Key2)
+		d.op(c, th, sh, lock, true, in2, r.Seed)
+	}
+	d.tl.SetShard(c.ID, -1)
+	d.exit(c, s1)
+	return s1
+}
+
+// ops performs the request's footprint against one shard: the first op on
+// the request's own key, the rest on keys drawn from the request's seed
+// stream within the same shard (a scan/batch touching the shard locally).
+func (d *deployment) ops(c *machine.CPU, th *htm.Thread, sh *shardState, lock rwlock.Lock, r *service.Request, inKey uint64) {
+	s := machine.NewStream(r.Seed)
+	for i := 0; i < r.Footprint; i++ {
+		k := inKey
+		if i > 0 {
+			k = uint64(s.Intn(int(sh.universe)))
+		}
+		d.op(c, th, sh, lock, r.IsWrite, k, s.Next())
+	}
+}
+
+// op executes one critical section against sh under lock.
+func (d *deployment) op(c *machine.CPU, th *htm.Thread, sh *shardState, lock rwlock.Lock, write bool, key uint64, val uint64) {
+	v := &d.srvs[c.ID]
+	v.h, v.key = sh.h, key
+	if write {
+		v.val = val
+		v.used = false
+		lock.Write(th, v.updateCS)
+		if v.used {
+			// The universe is fully populated and nothing is ever removed,
+			// so an update can never consume the spare node.
+			panic("shard: update consumed the spare node (key outside populated universe)")
+		}
+		sh.writes++
+	} else {
+		lock.Read(th, v.lookupCS)
+	}
+	sh.ops++
+	th.St.Ops++
+}
+
+// execCross runs a two-shard transaction: exclusive acquisition of both
+// shards in ascending index order (ordered two-phase locking — waits
+// cannot cycle, so the protocol is deadlock-free), the primary footprint
+// against the first key's shard, one update against the second, then
+// release in reverse order. While both shards are held exclusively no
+// other CPU is inside either, so the pair of updates is atomic with
+// respect to every other request.
+func (d *deployment) execCross(c *machine.CPU, th *htm.Thread, r *service.Request, s1 int, in1 uint64, s2 int, in2 uint64) {
+	lo, hi := s1, s2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	d.acquireExcl(c, lo)
+	d.acquireExcl(c, hi)
+
+	shA := &d.shards[s1]
+	d.tl.SetShard(c.ID, s1)
+	d.ops(c, th, shA, shA.locks[shA.active], r, in1)
+
+	shB := &d.shards[s2]
+	d.tl.SetShard(c.ID, s2)
+	d.op(c, th, shB, shB.locks[shB.active], true, in2, r.Seed)
+	d.tl.SetShard(c.ID, -1)
+
+	shA.crossTx++
+	shB.crossTx++
+	d.releaseExcl(c, hi)
+	d.releaseExcl(c, lo)
+}
+
+// enter admits one critical section into shard s, applying a pending
+// scheme switch first if the shard is quiesced. While a switch is pending
+// new entrants are held out, so inflight drains and the switch applies at
+// the first safe boundary with bounded delay.
+func (d *deployment) enter(c *machine.CPU, s int) {
+	sh := &d.shards[s]
+	for {
+		c.Sync()
+		if sh.excl < 0 {
+			if sh.pending != sh.active {
+				if sh.inflight == 0 {
+					d.applySwitch(c, sh, s)
+				}
+			} else {
+				sh.inflight++
+				return
+			}
+		}
+		c.Tick(d.cfg.PollCycles)
+	}
+}
+
+// exit retires one critical section from shard s.
+func (d *deployment) exit(c *machine.CPU, s int) {
+	c.Sync()
+	d.shards[s].inflight--
+}
+
+// acquireExcl reserves shard s exclusively for the calling CPU and waits
+// for in-flight sections to drain. The reservation blocks new entrants
+// immediately, so the drain is bounded by the sections already inside.
+func (d *deployment) acquireExcl(c *machine.CPU, s int) {
+	sh := &d.shards[s]
+	for {
+		c.Sync()
+		if sh.excl < 0 {
+			if sh.pending != sh.active {
+				if sh.inflight == 0 {
+					d.applySwitch(c, sh, s)
+				}
+			} else {
+				sh.excl = c.ID
+				break
+			}
+		}
+		c.Tick(d.cfg.PollCycles)
+	}
+	for {
+		c.Sync()
+		if sh.inflight == 0 {
+			return
+		}
+		c.Tick(d.cfg.PollCycles)
+	}
+}
+
+// releaseExcl releases the exclusive hold on shard s.
+func (d *deployment) releaseExcl(c *machine.CPU, s int) {
+	c.Sync()
+	d.shards[s].excl = -1
+}
+
+// applySwitch flips the shard to its pending scheme at a quiesced
+// boundary and records the switch in the virtual-time-ordered trace.
+func (d *deployment) applySwitch(c *machine.CPU, sh *shardState, s int) {
+	from := sh.active
+	sh.active = sh.pending
+	sh.switches++
+	d.sw = append(d.sw, SwitchEvent{
+		AtCycles: c.Now(), Shard: s, From: d.names[from], To: d.names[sh.active],
+	})
+}

@@ -23,6 +23,7 @@ var determinismScope = map[string]bool{
 	"hrwle/internal/obs":     true,
 	"hrwle/internal/harness": true,
 	"hrwle/internal/service": true,
+	"hrwle/internal/shard":   true,
 }
 
 // wallClockFuncs are the time-package functions that read the host clock
