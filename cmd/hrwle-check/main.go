@@ -13,6 +13,11 @@
 //
 //	hrwle-check -scheme RW-LE_PES -mutation skip-rot-quiesce
 //
+// Race-check a litmus shape with the happens-before sanitizer attached
+// (litmus program names are accepted wherever closed programs are):
+//
+//	hrwle-check -sanitize -program litmus-sub -scheme RW-LE_OPT
+//
 // Deterministically reproduce a reported violation:
 //
 //	hrwle-check -replay TOKEN
@@ -41,9 +46,10 @@ func main() {
 		walkPct     = flag.Int("walk-pct", 0, "random-walk preemption probability in percent (0 = default)")
 		seed        = flag.Uint64("seed", 0, "base seed for the random-walk sweep (0 = default)")
 		mutation    = flag.String("mutation", "", "seeded bug to validate against: "+
-			check.MutLoseDoomAtResume+", "+check.MutSkipROTQuiesce)
-		replay = flag.String("replay", "", "replay a violation token instead of exploring")
-		all    = flag.Bool("all", false, "sweep every scheme × program combination")
+			check.MutLoseDoomAtResume+", "+check.MutSkipROTQuiesce+", "+check.MutLazySubscription)
+		replay   = flag.String("replay", "", "replay a violation token instead of exploring")
+		all      = flag.Bool("all", false, "sweep every scheme × program combination")
+		sanitize = flag.Bool("sanitize", false, "attach the simsan happens-before race detector to every explored execution")
 	)
 	flag.Parse()
 
@@ -56,11 +62,15 @@ func main() {
 	if !*all && !contains(check.Schemes(), *scheme) {
 		fatalf("unknown scheme %q (want one of %s)", *scheme, strings.Join(check.Schemes(), ", "))
 	}
-	if !contains(check.Programs(), *program) {
-		fatalf("unknown program %q (want one of %s)", *program, strings.Join(check.Programs(), ", "))
+	programs := append(check.Programs(), check.LitmusPrograms()...)
+	if !contains(programs, *program) {
+		fatalf("unknown program %q (want one of %s)", *program, strings.Join(programs, ", "))
 	}
-	if *mutation != "" && *mutation != check.MutLoseDoomAtResume && *mutation != check.MutSkipROTQuiesce {
-		fatalf("unknown mutation %q (want %s or %s)", *mutation, check.MutLoseDoomAtResume, check.MutSkipROTQuiesce)
+	switch *mutation {
+	case "", check.MutLoseDoomAtResume, check.MutSkipROTQuiesce, check.MutLazySubscription:
+	default:
+		fatalf("unknown mutation %q (want %s, %s or %s)",
+			*mutation, check.MutLoseDoomAtResume, check.MutSkipROTQuiesce, check.MutLazySubscription)
 	}
 
 	base := check.Config{
@@ -73,14 +83,30 @@ func main() {
 		WalkPreemptPct: *walkPct,
 		Seed:           *seed,
 		Mutation:       *mutation,
+		Sanitize:       *sanitize,
 	}
 
 	violations := 0
 	if *all {
+		// The sweep covers the closed invariant programs always; with the
+		// sanitizer attached, the litmus shapes join it — their value
+		// outcomes are judged by pinned enumerations in the test suite, but
+		// their schedules are exactly the reader/writer interactions worth
+		// race-checking.
+		sweep := check.Programs()
+		if *sanitize {
+			sweep = programs
+		}
 		for _, s := range check.Schemes() {
-			for _, p := range check.Programs() {
+			for _, p := range sweep {
 				cfg := base
 				cfg.Scheme, cfg.Program = s, p
+				if lit := contains(check.LitmusPrograms(), p); lit {
+					// Litmus shapes are two fixed threads with one section
+					// each; the defaults for closed programs oversubscribe
+					// them.
+					cfg.Threads, cfg.Ops = 2, 1
+				}
 				violations += report(check.Explore(cfg))
 			}
 		}

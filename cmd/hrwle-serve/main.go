@@ -11,6 +11,7 @@
 //	hrwle-serve -workload tpcc -schemes RW-LE_OPT,SGL -rates 1e5,3e5
 //	hrwle-serve -workload kyoto -arrivals mmpp -seed 7
 //	hrwle-serve -workload hashmap -schemes RW-LE_OPT -rates 3e6 -chrome t.json
+//	hrwle-serve -workload hashmap -schemes RW-LE_OPT -rates 3e6 -sanitize
 //
 // The default rate grids straddle every default scheme's saturation knee
 // (see EXPERIMENTS.md). Output is deterministic: the same flags produce
@@ -48,6 +49,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the ServeReport JSON to file")
 		chrome   = flag.String("chrome", "", "write a Chrome trace of the run (single scheme and rate only)")
 		timeline = flag.String("timeline", "", "write the virtual-time profile JSON of the run (single scheme and rate only)")
+		sanitize = flag.Bool("sanitize", false, "run one point under the simsan happens-before race detector (single scheme and rate only; exit 1 on any race)")
 		window   = flag.Int64("window", harness.DefaultProfWindow, "profiling window width in virtual cycles (with -timeline)")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "measurement points to run concurrently")
 		quiet    = flag.Bool("q", false, "suppress per-point progress")
@@ -116,6 +118,16 @@ func main() {
 			fatal(err)
 		}
 
+		if *sanitize {
+			if len(workloads) != 1 || len(spec.Schemes) != 1 || len(spec.Rates) != 1 {
+				fatal(fmt.Errorf("-sanitize needs exactly one workload, one -schemes entry and one -rates entry"))
+			}
+			if err := sanitizePoint(spec, *jsonOut, w); err != nil {
+				fatal(err)
+			}
+			return
+		}
+
 		if *chrome != "" || *timeline != "" {
 			if len(workloads) != 1 || len(spec.Schemes) != 1 || len(spec.Rates) != 1 {
 				fatal(fmt.Errorf("-chrome/-timeline need exactly one workload, one -schemes entry and one -rates entry"))
@@ -150,6 +162,39 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "JSON written to %s\n", *jsonOut)
 	}
+}
+
+// sanitizePoint serves the spec's single point with the simsan race
+// detector attached, printing the point metrics and the race report (and
+// writing the report JSON when -json was given). Any race is an error:
+// the serve workloads run production-shaped sections, so a report here is
+// either a scheme bug or a sanitizer false positive — both stop the line.
+func sanitizePoint(spec harness.ServeSpec, jsonPath string, w io.Writer) error {
+	cfg := spec.Base
+	cfg.Arrivals.RatePerSec = spec.Rates[0]
+	scheme := spec.Schemes[0]
+	m, rep, err := service.RunPointSanitized(cfg, scheme, harness.SchemeFactory(scheme))
+	if err != nil {
+		return err
+	}
+	m.WriteText(w)
+	fmt.Fprintln(w)
+	rep.WriteText(w)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "race report JSON written to %s\n", jsonPath)
+	}
+	if rep.Racy() {
+		return fmt.Errorf("simsan: %d race(s) under %s/%s", rep.Total, scheme, cfg.Workload)
+	}
+	return nil
 }
 
 // tracePoint runs the spec's single point with the requested collectors

@@ -21,6 +21,9 @@
 //	               cycle-attribution/telemetry report as JSON (text panels
 //	               are printed with the trace); -window sets the bucket
 //	               width in virtual cycles
+//	-sanitize      attach the simsan happens-before race detector; the race
+//	               report is printed after the stats and any race fails the
+//	               run (exit 1)
 //
 // -scheme accepts a comma-separated list; each scheme runs on its own
 // simulated machine (concurrently, up to -j at a time) and the traces are
@@ -49,6 +52,7 @@ import (
 	"hrwle/internal/htm"
 	"hrwle/internal/machine"
 	"hrwle/internal/obs"
+	"hrwle/internal/simsan"
 	"hrwle/internal/stats"
 )
 
@@ -57,6 +61,7 @@ type traceOpts struct {
 	threads, ops, writes, events int
 	seed                         uint64
 	matrix, hist, noEvents       bool
+	sanitize                     bool
 	jsonOut, chrome, timeline    string
 	window                       int64
 }
@@ -77,6 +82,7 @@ func main() {
 		timeline = flag.String("timeline", "", "write the virtual-time profile JSON to this file ('-' for stdout)")
 		window   = flag.Int64("window", harness.DefaultProfWindow, "profiling window width in virtual cycles (with -timeline)")
 		noEvents = flag.Bool("q", false, "suppress the raw event dump")
+		sanitize = flag.Bool("sanitize", false, "attach the simsan happens-before race detector (exit 1 on any race)")
 	)
 	flag.Parse()
 
@@ -96,6 +102,7 @@ func main() {
 	opts := traceOpts{
 		threads: *threads, ops: *ops, writes: *writes, events: *events,
 		seed: *seed, matrix: *matrix, hist: *hist, noEvents: *noEvents,
+		sanitize: *sanitize,
 		jsonOut: *jsonOut, chrome: *chrome, timeline: *timeline, window: *window,
 	}
 
@@ -163,6 +170,12 @@ func traceScheme(w io.Writer, scheme string, o traceOpts) error {
 		prof = obs.NewProfile(o.window, 0)
 		tracers = append(tracers, prof)
 	}
+	var san *simsan.Sanitizer
+	if o.sanitize {
+		san = simsan.New(simsan.Options{CPUs: o.threads})
+		tracers = append(tracers, san)
+		sys.SetTraceAccesses(true)
+	}
 	m.SetTracer(tracers)
 	if prof != nil {
 		prof.Start(m.Now(), o.threads)
@@ -206,6 +219,15 @@ func traceScheme(w io.Writer, scheme string, o traceOpts) error {
 	b := stats.Merge(sys.Stats(o.threads), cycles)
 	fmt.Fprintf(w, "\naborts: %.1f%% of %d attempts   commits: %s\n",
 		b.AbortRate(), b.TxStarts, b.FormatCommits())
+
+	if san != nil {
+		rep := san.Finish()
+		fmt.Fprintln(w)
+		rep.WriteText(w)
+		if rep.Racy() {
+			return fmt.Errorf("simsan: %d race(s) under %s", rep.Total, lock.Name())
+		}
+	}
 
 	point := collector.Point(o.threads, o.writes, cycles, &b)
 	if o.matrix {

@@ -1,14 +1,18 @@
 // Command hrwle-vet runs the simlint static-analysis suite — the
-// determinism, abortflow, eventpairs and txdiscipline analyzers — over the
-// module and exits non-zero if any invariant is violated.
+// determinism, abortflow, eventpairs, txdiscipline, syncpoint and hotpath
+// analyzers — over the module and exits non-zero if any invariant is
+// violated.
 //
 // Usage:
 //
 //	go run ./cmd/hrwle-vet ./...
+//	go run ./cmd/hrwle-vet -list
 //
 // Results are cached by the content hash of every .go file in the module,
 // so a run over an unchanged tree replays instantly (disable with
-// -cache=false; point CI's cache step at -cachedir).
+// -cache=false; point CI's cache step at -cachedir). The -json report
+// carries per-analyzer wall time so the cost of a cache miss is visible;
+// cached replays keep the timings of the run that produced them.
 package main
 
 import (
@@ -30,7 +34,7 @@ import (
 
 // cacheSchema is bumped whenever analyzer semantics change, invalidating
 // every prior cache entry.
-const cacheSchema = "simlint-v1"
+const cacheSchema = "simlint-v2"
 
 type jsonDiag struct {
 	Position string `json:"position"`
@@ -39,21 +43,39 @@ type jsonDiag struct {
 }
 
 type cacheEntry struct {
-	Schema      string     `json:"schema"`
-	Diagnostics []jsonDiag `json:"diagnostics"`
-	Suppressed  int        `json:"suppressed"`
+	Schema      string                   `json:"schema"`
+	Diagnostics []jsonDiag               `json:"diagnostics"`
+	Suppressed  int                      `json:"suppressed"`
+	Timings     []simlint.AnalyzerTiming `json:"timings,omitempty"`
 }
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
 	useCache := flag.Bool("cache", true, "reuse cached results when no .go file changed")
 	cacheDir := flag.String("cachedir", "", "cache directory (default <user cache dir>/hrwle-vet)")
+	list := flag.Bool("list", false, "print the registered analyzers and exit")
 	flag.Parse()
+	if *list {
+		listAnalyzers()
+		os.Exit(0)
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	os.Exit(run(patterns, *jsonOut, *useCache, *cacheDir))
+}
+
+// listAnalyzers prints each registered analyzer's name and the first line
+// of its doc string.
+func listAnalyzers() {
+	for _, a := range simlint.NewAnalyzers() {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Printf("%-14s %s\n", a.Name, doc)
+	}
 }
 
 func run(patterns []string, jsonOut, useCache bool, cacheDir string) int {
@@ -94,7 +116,7 @@ func run(patterns []string, jsonOut, useCache bool, cacheDir string) int {
 		return 2
 	}
 
-	entry := &cacheEntry{Schema: cacheSchema, Suppressed: suite.Suppressed}
+	entry := &cacheEntry{Schema: cacheSchema, Suppressed: suite.Suppressed, Timings: suite.Timings()}
 	for _, d := range diags {
 		entry.Diagnostics = append(entry.Diagnostics, jsonDiag{
 			Position: fset.Position(d.Pos).String(),

@@ -41,6 +41,13 @@ const (
 	// MutSkipROTQuiesce drops the quiescence barrier on the ROT path
 	// (core.Options.UnsafeSkipROTQuiesce).
 	MutSkipROTQuiesce = "skip-rot-quiesce"
+	// MutLazySubscription reads the lock word only after the HTM critical
+	// section body ran (core.Options.UnsafeLazySubscription). Its unsafety
+	// is invisible to value-based oracles — the torn observation commits
+	// values a legal serialization could also produce — so this mutation is
+	// validated by the simsan race sanitizer (Config.Sanitize), not by the
+	// invariant oracles.
+	MutLazySubscription = "lazy-subscription"
 )
 
 // Config selects what to explore and how hard.
@@ -67,10 +74,17 @@ type Config struct {
 	// terminates (default 40000).
 	MaxSteps int
 	// Mutation optionally enables one of the checker-validation knobs
-	// (MutLoseDoomAtResume, MutSkipROTQuiesce).
+	// (MutLoseDoomAtResume, MutSkipROTQuiesce, MutLazySubscription).
 	Mutation string
 	// Seed is the base seed of the random-walk sweep (default 1).
 	Seed uint64
+	// Sanitize runs the simsan happens-before race detector over every
+	// explored execution; a detected race is reported as a violation. The
+	// sanitizer observes passively (no virtual time, no extra scheduling
+	// points), so the explored schedule space is identical either way.
+	// Omitted from violation tokens when off so pre-sanitizer tokens (and
+	// golden captures embedding them) keep their exact encoding.
+	Sanitize bool `json:",omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -157,8 +171,10 @@ func buildSystem(cfg Config) (*machine.Machine, *htm.System, rwlock.Lock) {
 // to the options, which the harness factory does not expose.
 func buildLock(sys *htm.System, cfg Config) rwlock.Lock {
 	rot := cfg.Mutation == MutSkipROTQuiesce
+	lazy := cfg.Mutation == MutLazySubscription
 	mkCore := func(o core.Options) rwlock.Lock {
 		o.UnsafeSkipROTQuiesce = rot
+		o.UnsafeLazySubscription = lazy
 		return core.New(sys, o)
 	}
 	switch cfg.Scheme {

@@ -1,6 +1,9 @@
 package check
 
-import "hrwle/internal/machine"
+import (
+	"hrwle/internal/machine"
+	"hrwle/internal/simsan"
+)
 
 // TraceHook, when non-nil, supplies a fresh tracer for every controlled
 // execution the explorer runs. It exists for the engine differential test
@@ -16,14 +19,34 @@ func runOne(cfg Config, sc *ctrl) (outcome, violation string, points int, trunca
 	ctx := &runCtx{cfg: cfg, m: m, sys: sys, lock: lock}
 	p := programFor(cfg.Program)
 	p.setup(ctx)
+	var san *simsan.Sanitizer
+	if cfg.Sanitize {
+		san = simsan.New(simsan.Options{CPUs: cfg.Threads})
+		sys.SetTraceAccesses(true)
+	}
+	var hook machine.Tracer
 	if TraceHook != nil {
-		m.SetTracer(TraceHook())
+		hook = TraceHook()
+	}
+	switch {
+	case san != nil && hook != nil:
+		m.SetTracer(machine.MultiTracer{san, hook})
+	case san != nil:
+		m.SetTracer(san)
+	case hook != nil:
+		m.SetTracer(hook)
 	}
 	m.SetScheduler(sc)
 	m.Run(cfg.Threads, func(c *machine.CPU) {
 		p.body(ctx, sys.Thread(c.ID), c)
 	})
 	p.check(ctx)
+	if san != nil {
+		rep := san.Finish()
+		for _, r := range rep.Races {
+			ctx.violate("simsan: %s", r)
+		}
+	}
 	if len(ctx.violations) > 0 {
 		violation = ctx.violations[0]
 	}

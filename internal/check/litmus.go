@@ -33,9 +33,21 @@ import (
 //     and must either be waited for or doom the speculation.
 //   - litmus-upd (lost update): both threads run a read-modify-write
 //     section incrementing x; the only allowed final state is x=2.
+//   - litmus-sub (subscription): CPU 0's write section stores x and then a
+//     filler block that overflows the HTM (and ROT) write capacity, so the
+//     section deterministically falls through to the non-speculative path;
+//     CPU 1's write section is a small read-modify-write (y = x+1) that can
+//     elide. The value outcomes are the two serializations regardless of
+//     subscription discipline — a lazily subscribing CPU 1 that observes
+//     CPU 0's mid-section store commits the same y=2 a legal serialization
+//     produces. Only the simsan race sanitizer (Config.Sanitize) separates
+//     the two, which is the point of the shape: it is the validation
+//     program for the unsafe-lazy-subscription mutation.
 type litmusSpec struct {
 	name string
-	body func(ctx *runCtx, th *htm.Thread, c *machine.CPU)
+	// setup optionally allocates extra state after the common x/y words.
+	setup func(ctx *runCtx)
+	body  func(ctx *runCtx, th *htm.Thread, c *machine.CPU)
 	// label renders the outcome from the reader's observations and the
 	// final memory state after all threads finished.
 	label func(ctx *runCtx) string
@@ -47,8 +59,26 @@ type litmusSpec struct {
 // Schemes()×Programs() golden traces, while litmus outcome sets are pinned
 // by their own exhaustive enumerations in litmus_test.go.
 func LitmusPrograms() []string {
-	return []string{"litmus-pub", "litmus-agg", "litmus-susp", "litmus-upd"}
+	return []string{"litmus-pub", "litmus-agg", "litmus-susp", "litmus-upd", "litmus-sub"}
 }
+
+// litSubFillLines is litmus-sub's filler size in cache lines. With the
+// default 64-line write budget, the filler plus x overflows both the HTM
+// and ROT write sets, forcing a persistent capacity abort on each
+// speculative path and hence the non-speculative fallback.
+const litSubFillLines = 68
+
+// litSubDelay is the virtual-cycle delay at the top of CPU 1's elided
+// section, sized to cover CPU 0's full abort-abort-fallback sequence. Under
+// the default minimum-virtual-time policy it makes CPU 0 run its whole
+// write section — including the fallback store to x — between CPU 1's
+// pre-section lock-word check and its load of x, which is exactly the
+// window an unsafe lazy subscription fails to close: the default schedule
+// itself becomes the race witness, so the sanitizer catches the mutation
+// without needing a rare interleaving. (With eager subscription the same
+// schedule is clean: CPU 0's fallback acquisition dooms the section, and
+// the retry re-subscribes after CPU 0's release.)
+const litSubDelay = 16384
 
 func litmusSpecs() []litmusSpec {
 	return []litmusSpec{
@@ -134,6 +164,37 @@ func litmusSpecs() []litmusSpec {
 				return fmt.Sprintf("x=%d", ctx.m.Peek(ctx.litX))
 			},
 		},
+		{
+			name: "litmus-sub",
+			setup: func(ctx *runCtx) {
+				lw := int64(ctx.m.Cfg.LineWords)
+				ctx.litF = ctx.m.AllocRawAligned(litSubFillLines * lw)
+			},
+			body: func(ctx *runCtx, th *htm.Thread, c *machine.CPU) {
+				switch c.ID {
+				case 0:
+					lw := machine.Addr(ctx.m.Cfg.LineWords)
+					ctx.lock.Write(th, func() {
+						th.Store(ctx.litX, 1)
+						// One store per line: overflow the write capacity
+						// so the section reaches the NS path. The fillers
+						// are never touched by CPU 1, so the only shared
+						// data word is x.
+						for i := machine.Addr(0); i < litSubFillLines; i++ {
+							th.Store(ctx.litF+i*lw, 1)
+						}
+					})
+				case 1:
+					ctx.lock.Write(th, func() {
+						c.Work(litSubDelay)
+						th.Store(ctx.litY, th.Load(ctx.litX)+1)
+					})
+				}
+			},
+			label: func(ctx *runCtx) string {
+				return fmt.Sprintf("x=%d y=%d", ctx.m.Peek(ctx.litX), ctx.m.Peek(ctx.litY))
+			},
+		},
 	}
 }
 
@@ -149,6 +210,9 @@ func litmusProgram(name string) (program, bool) {
 			setup: func(ctx *runCtx) {
 				ctx.litX = ctx.m.AllocRawAligned(1)
 				ctx.litY = ctx.m.AllocRawAligned(1)
+				if spec.setup != nil {
+					spec.setup(ctx)
+				}
 			},
 			body: func(ctx *runCtx, th *htm.Thread, c *machine.CPU) {
 				if c.ID > 1 {
@@ -166,15 +230,19 @@ func litmusProgram(name string) (program, bool) {
 
 // EnumerateOutcomes explores cfg's schedule space and returns how often
 // each outcome label was observed, instead of stopping at the first
-// violation the way Explore does. It first runs the preemption-bounded DFS
-// to exhaustion (the report's Exhausted flag states whether the whole
-// bounded space was covered), then spends the rest of the execution budget
-// on seed-swept burst walks: fine-grained deviations around the default
+// violation the way Explore does. It runs the preemption-bounded DFS for
+// up to half the execution budget (the report's Exhausted flag states
+// whether the whole bounded space was covered), then spends the rest on
+// seed-swept burst walks: fine-grained deviations around the default
 // schedule cannot reorder whole critical sections (running a long write
 // path to completion first deviates at every decision point, blowing any
 // preemption bound), but a burst walk favoring one CPU can, which is what
-// adds the coarse-grained serialization witnesses to the set. Both phases
-// are deterministic, so the returned set is a pure function of cfg.
+// adds the coarse-grained serialization witnesses to the set. Capping the
+// DFS phase keeps the walk phase alive even for shapes whose bounded tree
+// outgrows any reasonable budget (litmus-sub's delayed reader keeps both
+// CPUs runnable across the writer's whole fallback section, multiplying
+// the decision points). Both phases are deterministic, so the returned
+// set is a pure function of cfg.
 func EnumerateOutcomes(cfg Config) (map[string]int, Report) {
 	cfg = cfg.withDefaults()
 	rep := Report{Config: cfg}
@@ -194,7 +262,7 @@ func EnumerateOutcomes(cfg Config) (map[string]int, Report) {
 		return sc
 	}
 	prefix := []int{}
-	for rep.Executions < cfg.MaxExecutions {
+	for rep.Executions < cfg.MaxExecutions/2 {
 		sc := record(schedule{Kind: "prefix", Choices: prefix})
 		prefix = nextPrefix(sc.trace, cfg.Preemptions)
 		if prefix == nil {

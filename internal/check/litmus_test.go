@@ -69,12 +69,17 @@ func TestLitmusOutcomeSets(t *testing.T) {
 		"litmus-agg":  {"x=0 y=0", "x=1 y=1"},
 		"litmus-susp": {"y=0 x=0", "y=1 x=1"},
 		"litmus-upd":  {"x=2"},
+		// litmus-sub's two serializations; note the set is the same with
+		// the lazy-subscription mutation — the shape is value-blind by
+		// design and judged by the sanitizer instead (sanitize_test.go).
+		"litmus-sub": {"x=1 y=1", "x=1 y=2"},
 	}
 	forbidden := map[string]string{
 		"litmus-pub":  "y=1 x=0",
 		"litmus-agg":  "x=1 y=0",
 		"litmus-susp": "y=1 x=0",
 		"litmus-upd":  "x=1",
+		"litmus-sub":  "x=0 y=2",
 	}
 	for _, program := range LitmusPrograms() {
 		for _, scheme := range litmusSchemes() {
@@ -88,7 +93,7 @@ func TestLitmusOutcomeSets(t *testing.T) {
 						t.Fatalf("forbidden outcome %q observed", o)
 					}
 				}
-				if program != "litmus-upd" && !rep.Exhausted {
+				if program != "litmus-upd" && program != "litmus-sub" && !rep.Exhausted {
 					t.Fatalf("bounded DFS did not exhaust (%d executions)", rep.Executions)
 				}
 			})

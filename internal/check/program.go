@@ -52,8 +52,10 @@ type runCtx struct {
 	reads  []readRec
 
 	// litmus program state (litmus.go): two words on distinct cache lines
-	// and the reader's observed values.
+	// and the reader's observed values. litF is litmus-sub's filler block,
+	// one word per cache line, sized to overflow the HTM write capacity.
 	litX, litY   machine.Addr
+	litF         machine.Addr
 	litR1, litR2 uint64
 }
 

@@ -1,0 +1,143 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sanitizeConfig is litmusConfig plus the sanitizer, at a budget sized for
+// a clean sweep (no early stop on violation means every execution runs).
+func sanitizeConfig(program, scheme, mutation string) Config {
+	cfg := litmusConfig(program, scheme, mutation)
+	cfg.Sanitize = true
+	cfg.MaxExecutions = 400
+	return cfg
+}
+
+// TestSanitizerCleanLitmus sweeps every litmus shape under every scheme
+// with the race sanitizer attached: the synchronization disciplines the
+// schemes implement must type-check against the happens-before model with
+// zero reports. This is the sanitizer's false-positive guard over the
+// trickiest schedules the explorer can produce — including the elided
+// sections that commit without ever writing the lock word, which only the
+// subscription edge orders.
+func TestSanitizerCleanLitmus(t *testing.T) {
+	for _, program := range LitmusPrograms() {
+		for _, scheme := range litmusSchemes() {
+			t.Run(fmt.Sprintf("%s/%s", program, scheme), func(t *testing.T) {
+				rep := Explore(sanitizeConfig(program, scheme, ""))
+				if rep.Violation != nil {
+					t.Fatalf("sanitizer reported a race on a correct scheme: %s",
+						rep.Violation.Desc)
+				}
+			})
+		}
+	}
+}
+
+// TestSanitizerCleanPrograms runs the closed invariant programs — the
+// multi-word record and the open-addressing hashmap, whose sections do
+// real data-structure work — under the sanitizer. Three threads and the
+// full mixed read/write schedule space exercise reader/writer overlap,
+// suspension windows and fallback interleavings far beyond the litmus
+// shapes.
+func TestSanitizerCleanPrograms(t *testing.T) {
+	for _, program := range []string{"record", "hashmap"} {
+		for _, scheme := range Schemes() {
+			t.Run(fmt.Sprintf("%s/%s", program, scheme), func(t *testing.T) {
+				rep := Explore(Config{
+					Program:       program,
+					Scheme:        scheme,
+					Sanitize:      true,
+					MaxExecutions: 300,
+				})
+				if rep.Violation != nil {
+					t.Fatalf("sanitizer reported a race on a correct scheme: %s",
+						rep.Violation.Desc)
+				}
+			})
+		}
+	}
+}
+
+// TestSanitizerCatchesLazySubscription is the seeded-mutation gate for the
+// sanitizer: on every scheme whose writers elide through the HTM path, the
+// unsafe-lazy-subscription mutation must be caught on litmus-sub — and on
+// the very first explored schedule, because litmus-sub's delayed reader
+// makes the default minimum-virtual-time schedule itself the race witness.
+// Value oracles cannot see this bug (TestLitmusOutcomeSets pins identical
+// outcome sets with and without the mutation); the two-site report below
+// is the only signal separating the disciplines.
+func TestSanitizerCatchesLazySubscription(t *testing.T) {
+	for _, scheme := range []string{"RW-LE_OPT", "RW-LE_FAIR", "RW-LE_SPLIT"} {
+		t.Run(scheme, func(t *testing.T) {
+			rep := Explore(sanitizeConfig("litmus-sub", scheme, MutLazySubscription))
+			if rep.Violation == nil {
+				t.Fatalf("lazy-subscription mutation not caught in %d executions",
+					rep.Executions)
+			}
+			desc := rep.Violation.Desc
+			if !strings.HasPrefix(desc, "simsan: ") {
+				t.Fatalf("violation not attributed to the sanitizer: %s", desc)
+			}
+			// The report must carry both access sites with CPU, kind and
+			// virtual time — that is what makes it actionable.
+			for _, site := range []string{"CPU 0 write", "CPU 1 read", "@t="} {
+				if !strings.Contains(desc, site) {
+					t.Fatalf("report lacks site %q: %s", site, desc)
+				}
+			}
+			if rep.Executions != 1 {
+				t.Errorf("expected detection on the default schedule, took %d executions",
+					rep.Executions)
+			}
+			if rep.Violation.Token == "" {
+				t.Error("race report carries no replay token")
+			}
+		})
+	}
+}
+
+// TestSanitizerLazySubscriptionImmunity pins the mutation's negative
+// space: RW-LE_PES starts writers at the ROT path (MaxHTM=0) and the
+// non-core schemes never subscribe at all, so the mutated build must stay
+// race-free — a sanitizer report here would be a false positive, not a
+// catch.
+func TestSanitizerLazySubscriptionImmunity(t *testing.T) {
+	for _, scheme := range []string{"RW-LE_PES", "HLE", "BRLock", "SGL"} {
+		t.Run(scheme, func(t *testing.T) {
+			rep := Explore(sanitizeConfig("litmus-sub", scheme, MutLazySubscription))
+			if rep.Violation != nil {
+				t.Fatalf("immune scheme flagged: %s", rep.Violation.Desc)
+			}
+		})
+	}
+}
+
+// TestSanitizerZeroPerturbation proves the sanitizer is a pure observer:
+// enumerating the same configuration with and without it must visit the
+// identical schedule space (execution and decision-point counts) and
+// produce the identical outcome multiset. Any drift would mean attaching
+// the tracer changed simulated behavior, invalidating every sanitized
+// result.
+func TestSanitizerZeroPerturbation(t *testing.T) {
+	for _, program := range []string{"litmus-agg", "litmus-sub"} {
+		t.Run(program, func(t *testing.T) {
+			plain := litmusConfig(program, "RW-LE_OPT", "")
+			plain.MaxExecutions = 400
+			san := plain
+			san.Sanitize = true
+			outPlain, repPlain := EnumerateOutcomes(plain)
+			outSan, repSan := EnumerateOutcomes(san)
+			if !reflect.DeepEqual(outPlain, outSan) {
+				t.Fatalf("outcome sets diverged: plain %v, sanitized %v", outPlain, outSan)
+			}
+			if repPlain.Executions != repSan.Executions || repPlain.Points != repSan.Points ||
+				repPlain.Exhausted != repSan.Exhausted || repPlain.Truncated != repSan.Truncated {
+				t.Fatalf("schedule space diverged: plain %+v, sanitized %+v", repPlain, repSan)
+			}
+		})
+	}
+}

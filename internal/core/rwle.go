@@ -84,6 +84,15 @@ type Options struct {
 	// shows to be unsound. internal/check must find a violation with this
 	// set. Never enable it outside checker self-tests.
 	UnsafeSkipROTQuiesce bool
+	// UnsafeLazySubscription is a sanitizer-validation knob: the HTM
+	// writer path reads the global lock word only *after* running the
+	// critical section, instead of eagerly subscribing before it (the
+	// unsafe lazy-subscription scheme of Dice et al., arXiv 1407.6968).
+	// A transaction can then run its whole body concurrently with a
+	// non-speculative lock holder and still commit, having observed the
+	// holder's unpublished intermediate state. The simsan race sanitizer
+	// must flag those accesses. Never enable it outside self-tests.
+	UnsafeLazySubscription bool
 	// Name overrides the reported scheme name.
 	Name string
 }
@@ -370,10 +379,21 @@ func (l *RWLE) writeHTM(t *htm.Thread, cs func()) htm.Status {
 	// Let non-HTM writers finish before starting speculation (line 42).
 	t.AwaitWordBackoff(l.wlock, stateMask, lockFree, true, 0, 8)
 	return t.Try(false, func() {
-		if state(t.Load(l.wlock)) != lockFree { // subscribe (line 44)
-			t.Abort(stats.AbortLockBusy)
+		if !l.opts.UnsafeLazySubscription {
+			if state(t.Load(l.wlock)) != lockFree { // subscribe (line 44)
+				t.Abort(stats.AbortLockBusy)
+			}
 		}
 		cs()
+		if l.opts.UnsafeLazySubscription {
+			// Sanitizer-validation mutation: subscribe only after the body
+			// ran, so the transaction never entered the lock word into its
+			// read set while executing — a fallback writer acquiring
+			// mid-section goes unnoticed (see Options.UnsafeLazySubscription).
+			if state(t.Load(l.wlock)) != lockFree {
+				t.Abort(stats.AbortLockBusy)
+			}
+		}
 		if l.opts.SplitLocks {
 			// Lazy subscription of the ROT lock: only at commit time, so
 			// an HTM writer can overlap a ROT writer's critical section.
@@ -411,7 +431,16 @@ func (l *RWLE) writeROT(t *htm.Thread, cs func()) htm.Status {
 	st := t.Try(true, func() {
 		cs()
 		if !l.opts.UnsafeSkipROTQuiesce {
-			l.synchronize(t, false, l.verFilter(myVer))
+			// Always drain every in-flight reader here, even in the fair
+			// variant. The version filter is only sound where later readers
+			// are *blocked* by the lock word (the NS path): a reader that
+			// enters under a ROT holder proceeds concurrently, and skipping
+			// it would let the commit land mid-section — torn snapshot for
+			// any word the reader read before the ROT claimed it (plain
+			// reads leave no trace in the conflict directory, so nothing
+			// dooms the ROT). Fairness is unaffected: reader overtaking
+			// happens on the NS path, which keeps the filter.
+			l.synchronize(t, false, noVerFilter)
 		}
 	})
 	// Release the writer lock whether the ROT committed or aborted
@@ -496,8 +525,10 @@ func (w *acqWait) Step(c *machine.CPU) bool {
 // use it.
 const noVerFilter = ^uint64(0)
 
-// verFilter returns the quiescence version filter for a lock-holding
-// writer: its own version under the fair variant, no filtering otherwise.
+// verFilter returns the quiescence version filter for the NS-path writer:
+// its own version under the fair variant (safe there because later readers
+// are blocked by the lockNS word and never run concurrently), no filtering
+// otherwise.
 func (l *RWLE) verFilter(myVer uint64) uint64 {
 	if l.opts.Fair {
 		return myVer

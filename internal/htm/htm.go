@@ -117,6 +117,14 @@ type System struct {
 	Cfg     Config
 	dir     []dirEntry
 	threads []*Thread
+
+	// traceAccesses gates EvRead/EvWrite emission from Thread.Load,
+	// LoadStream and Store. Default event streams deliberately omit
+	// HTM-level data accesses (they would dominate every trace and golden
+	// fingerprint); the simsan race sanitizer needs them, so it flips this
+	// on for sanitized runs only. Emission charges no virtual time, so
+	// sim_cycles are identical either way.
+	traceAccesses bool
 }
 
 // NewSystem wraps a machine with HTM support.
@@ -133,6 +141,15 @@ func NewSystem(m *machine.Machine, cfg Config) *System {
 
 // Thread returns the HTM thread bound to CPU id.
 func (s *System) Thread(id int) *Thread { return s.threads[id] }
+
+// SetTraceAccesses enables (or disables) EvRead/EvWrite emission from
+// Thread.Load/LoadStream/Store, so a tracer sees every HTM-level data
+// access. Off by default: the extra events change no timing but would
+// change every recorded event stream, so only sanitized runs enable it.
+func (s *System) SetTraceAccesses(on bool) { s.traceAccesses = on }
+
+// TraceAccesses reports whether HTM-level data accesses are being emitted.
+func (s *System) TraceAccesses() bool { return s.traceAccesses }
 
 // Threads returns all HTM threads.
 func (s *System) Threads() []*Thread { return s.threads }
@@ -204,6 +221,8 @@ func (t *Thread) doomFromEnvironment() {
 // conflicting access came from inside another transaction; killer is the
 // CPU that performed it (-1 for VM-subsystem dooms) and a its address, both
 // preserved so the eventual abort can be attributed.
+//
+//simlint:hotpath
 func (t *Thread) setDoom(sourceTx bool, killer int, a machine.Addr) {
 	if t.doom >= 0 {
 		return
@@ -260,6 +279,8 @@ func (t *Thread) checkDoom() {
 }
 
 // abort rolls back the current transaction and unwinds to Try.
+//
+//simlint:hotpath
 func (t *Thread) abort(cause stats.AbortCause, persistent bool) {
 	if t.mode == ModeNone {
 		panic("htm: abort outside transaction")
@@ -279,6 +300,8 @@ func (t *Thread) abort(cause stats.AbortCause, persistent bool) {
 }
 
 // rollback discards speculative state and deregisters from the directory.
+//
+//simlint:hotpath
 func (t *Thread) rollback() {
 	for _, l := range t.readLines {
 		t.sys.dir[l].delReader(t.C.ID)

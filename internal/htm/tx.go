@@ -11,6 +11,7 @@ import (
 // Begin never fails in this model (hardware tbegin reports failures of
 // *prior* attempts through the handler; here failures surface at the first
 // conflicting access or at commit).
+//simlint:hotpath
 func (t *Thread) Begin(rot bool) {
 	if t.mode != ModeNone {
 		panic("htm: nested Begin (nesting is not modelled; flatten in the caller)")
@@ -69,6 +70,8 @@ func (t *Thread) Resume() {
 // transactions and, as the paper verified empirically for POWER8 chips,
 // provided for ROTs as well). On a pending conflict the abort fires
 // instead.
+//
+//simlint:hotpath
 func (t *Thread) Commit() {
 	t.mustBeActive("Commit")
 	costs := t.C.Costs()
@@ -131,22 +134,36 @@ func (t *Thread) dirAt(a machine.Addr) *dirEntry {
 // plain non-transactional read. Any speculative writer of the line other
 // than t is doomed (requester wins), which is how an uninstrumented RW-LE
 // reader kills a conflicting writer.
+//
+//simlint:hotpath
 func (t *Thread) Load(a machine.Addr) uint64 {
 	t.C.AccessRead(a)
-	return t.loadData(a)
+	v := t.loadData(a)
+	if t.sys.traceAccesses {
+		t.C.Emit(machine.EvRead, a, v)
+	}
+	return v
 }
 
 // LoadStream reads word a like Load but with streaming-scan timing
 // (memory-level parallelism discount; see machine.AccessReadStream). Use it
 // only for sweeps over independent addresses — e.g. the quiescence scan of
 // per-thread reader clocks — never for pointer chasing.
+//
+//simlint:hotpath
 func (t *Thread) LoadStream(a machine.Addr) uint64 {
 	t.C.AccessReadStream(a)
-	return t.loadData(a)
+	v := t.loadData(a)
+	if t.sys.traceAccesses {
+		t.C.Emit(machine.EvRead, a, v)
+	}
+	return v
 }
 
 // loadData performs the conflict-directory and data part of a load, after
 // the timing has been charged.
+//
+//simlint:hotpath
 func (t *Thread) loadData(a machine.Addr) uint64 {
 	m := t.C.Machine()
 	line := m.LineOf(a)
@@ -187,6 +204,7 @@ func (t *Thread) loadData(a machine.Addr) uint64 {
 // speculating reader or writer of the line. While suspended or outside a
 // transaction the store is non-transactional: it dooms every transaction
 // speculating on the line and hits memory directly.
+//simlint:hotpath
 func (t *Thread) Store(a machine.Addr, v uint64) {
 	t.C.AccessWrite(a)
 	m := t.C.Machine()
@@ -196,6 +214,9 @@ func (t *Thread) Store(a machine.Addr, v uint64) {
 	if t.mode == ModeNone || t.suspended {
 		t.doomAllNonTx(e, a)
 		m.Poke(a, v)
+		if t.sys.traceAccesses {
+			t.C.Emit(machine.EvWrite, a, v)
+		}
 		return
 	}
 
@@ -218,12 +239,17 @@ func (t *Thread) Store(a machine.Addr, v uint64) {
 		t.writeLines = append(t.writeLines, line)
 	}
 	t.ws.put(a, v)
+	if t.sys.traceAccesses {
+		t.C.Emit(machine.EvWrite, a, v)
+	}
 }
 
 // CAS performs a non-transactional compare-and-swap (usable only outside
 // speculation or while suspended), dooming every transaction speculating
 // on the line — this is what makes lock acquisition in a fallback path
 // abort subscribed transactions.
+//
+//simlint:hotpath
 func (t *Thread) CAS(a machine.Addr, old, new uint64) bool {
 	if t.mode != ModeNone && !t.suspended {
 		panic("htm: CAS inside active transaction (use Load+Store)")
@@ -247,18 +273,46 @@ func (t *Thread) NonTxStore(a machine.Addr, v uint64) {
 // host-side and NOT speculative: never allocate inside a transactional
 // critical section body (aborts would leak or double-use the block) —
 // prepare blocks before entering and release them after committing.
-func (t *Thread) Alloc(n int64) machine.Addr { return t.C.Alloc(n) }
+//
+// While per-access tracing is on, allocation and release emit
+// EvAlloc/EvFree so the race sanitizer can model the allocator's internal
+// synchronization: a thread recycling a block and the thread that next
+// allocates it are ordered through the free list even though they share no
+// lock word.
+func (t *Thread) Alloc(n int64) machine.Addr {
+	a := t.C.Alloc(n)
+	if t.sys.traceAccesses {
+		t.C.Emit(machine.EvAlloc, a, uint64(n))
+	}
+	return a
+}
 
 // AllocAligned allocates n words on a cache-line boundary. See Alloc for
 // the speculation caveat.
-func (t *Thread) AllocAligned(n int64) machine.Addr { return t.C.AllocAligned(n) }
+func (t *Thread) AllocAligned(n int64) machine.Addr {
+	a := t.C.AllocAligned(n)
+	if t.sys.traceAccesses {
+		t.C.Emit(machine.EvAlloc, a, uint64(n))
+	}
+	return a
+}
 
 // Free releases a block from Alloc. See Alloc for the speculation caveat.
-func (t *Thread) Free(a machine.Addr, n int64) { t.C.Free(a, n) }
+func (t *Thread) Free(a machine.Addr, n int64) {
+	if t.sys.traceAccesses {
+		t.C.Emit(machine.EvFree, a, uint64(n))
+	}
+	t.C.Free(a, n)
+}
 
 // FreeAligned releases a block from AllocAligned. See Alloc for the
 // speculation caveat.
-func (t *Thread) FreeAligned(a machine.Addr, n int64) { t.C.FreeAligned(a, n) }
+func (t *Thread) FreeAligned(a machine.Addr, n int64) {
+	if t.sys.traceAccesses {
+		t.C.Emit(machine.EvFree, a, uint64(n))
+	}
+	t.C.FreeAligned(a, n)
+}
 
 // doomAllNonTx dooms the writer and all readers of e due to a
 // non-transactional access by t at address a.

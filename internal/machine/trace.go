@@ -37,8 +37,14 @@ const (
 	// the cycles the CPU slept with no work to do.
 	EvLockWait
 	EvIdle
+	// Allocator events (emitted by internal/htm, only while per-access
+	// tracing is on — the race sanitizer models the free→alloc handoff of
+	// a recycled block as a synchronization edge). Addr is the block base,
+	// Aux the requested word count.
+	EvAlloc
+	EvFree
 
-	NumEventKinds = int(EvIdle) + 1
+	NumEventKinds = int(EvFree) + 1
 )
 
 var eventNames = [...]string{
@@ -47,6 +53,7 @@ var eventNames = [...]string{
 	"quiesce-start", "quiesce-end", "path-switch",
 	"cs-begin", "cs-end",
 	"lock-wait", "idle",
+	"alloc", "free",
 }
 
 func (k EventKind) String() string { return eventNames[k] }

@@ -5,6 +5,7 @@ import (
 	"hrwle/internal/machine"
 	"hrwle/internal/obs"
 	"hrwle/internal/rwlock"
+	"hrwle/internal/simsan"
 	"hrwle/internal/stats"
 )
 
@@ -15,7 +16,18 @@ import (
 // non-nil, is called with the machine before the run starts (tracer
 // attachment).
 func RunPoint(cfg Config, scheme string, mk rwlock.Factory, observe func(*machine.Machine)) (*obs.ServiceMetrics, []Request, error) {
-	return RunPointProfiled(cfg, scheme, mk, observe, nil)
+	m, reqs, _, err := runPoint(cfg, scheme, mk, observe, nil, false)
+	return m, reqs, err
+}
+
+// RunPointSanitized is RunPoint with the simsan happens-before race
+// detector attached for the serving phase (population is setup, not
+// workload). The returned race report is deterministic for a given
+// configuration; the metrics and sim_cycles are identical to an
+// unsanitized run — the sanitizer only observes the event stream.
+func RunPointSanitized(cfg Config, scheme string, mk rwlock.Factory) (*obs.ServiceMetrics, *simsan.Report, error) {
+	m, _, rep, err := runPoint(cfg, scheme, mk, nil, nil, true)
+	return m, rep, err
 }
 
 // RunPointProfiled is RunPoint with a virtual-time profiler attached: prof
@@ -26,12 +38,17 @@ func RunPoint(cfg Config, scheme string, mk rwlock.Factory, observe func(*machin
 // a pure event consumer: metrics and sim_cycles are identical with and
 // without it.
 func RunPointProfiled(cfg Config, scheme string, mk rwlock.Factory, observe func(*machine.Machine), prof *obs.Profile) (*obs.ServiceMetrics, []Request, error) {
+	m, reqs, _, err := runPoint(cfg, scheme, mk, observe, prof, false)
+	return m, reqs, err
+}
+
+func runPoint(cfg Config, scheme string, mk rwlock.Factory, observe func(*machine.Machine), prof *obs.Profile, sanitize bool) (*obs.ServiceMetrics, []Request, *simsan.Report, error) {
 	if err := cfg.applyDefaults(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	reqs, err := GenerateSchedule(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	totalOps := int64(0)
 	for i := range reqs {
@@ -49,16 +66,28 @@ func RunPointProfiled(cfg Config, scheme string, mk rwlock.Factory, observe func
 	lock := mk(sys)
 	ex, err := newExecutor(&cfg, m, sys, lock, scheme)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	q := NewQueue(reqs, cfg.QueueCap, len(cfg.Classes))
+	// Late observers attach after structure population so they cover
+	// exactly the serving phase.
+	var late machine.MultiTracer
 	if prof != nil {
 		prof.Start(m.Now(), cfg.Servers)
+		late = append(late, prof)
+	}
+	var san *simsan.Sanitizer
+	if sanitize {
+		san = simsan.New(simsan.Options{CPUs: cfg.Servers})
+		sys.SetTraceAccesses(true)
+		late = append(late, san)
+	}
+	if len(late) > 0 {
 		if t := m.Tracer(); t != nil {
-			m.SetTracer(machine.MultiTracer{t, prof})
+			m.SetTracer(append(machine.MultiTracer{t}, late...))
 		} else {
-			m.SetTracer(prof)
+			m.SetTracer(late)
 		}
 	}
 	cycles := m.Run(cfg.Servers, func(c *machine.CPU) {
@@ -96,8 +125,12 @@ func RunPointProfiled(cfg Config, scheme string, mk rwlock.Factory, observe func
 		}
 		prof.Finish(m.Now())
 	}
+	var sanRep *simsan.Report
+	if san != nil {
+		sanRep = san.Finish()
+	}
 	b := stats.Merge(sys.Stats(cfg.Servers), cycles)
-	return Assemble(&cfg, scheme, q.reqs, cycles, &b), q.reqs, nil
+	return Assemble(&cfg, scheme, q.reqs, cycles, &b), q.reqs, sanRep, nil
 }
 
 // DominantPath returns the commit path most of the request's critical

@@ -24,6 +24,7 @@ var determinismScope = map[string]bool{
 	"hrwle/internal/harness": true,
 	"hrwle/internal/service": true,
 	"hrwle/internal/shard":   true,
+	"hrwle/internal/simsan":  true,
 }
 
 // wallClockFuncs are the time-package functions that read the host clock

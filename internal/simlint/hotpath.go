@@ -1,0 +1,145 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NewHotpath returns the hotpath analyzer. Functions marked with a
+// //simlint:hotpath line in their doc comment — the htm load/store/
+// commit/abort paths, pinned at 0 allocs/op since the allocation audit —
+// must not contain heap-escaping constructs: function literals (closure
+// allocation), make/new, map or slice literals, address-of composite
+// literals, defer, fmt calls (interface boxing plus formatting buffers),
+// non-constant string concatenation, or append into anything but the
+// slice being extended in place. The check is intraprocedural: the marker
+// is a statement about the function's own body; callees carry their own
+// markers (or not) deliberately.
+func NewHotpath() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpath",
+		Doc:  "//simlint:hotpath-marked functions contain no heap-escaping constructs (closures, make/new, map/slice literals, defer, fmt, non-self append)",
+	}
+	a.Run = runHotpath
+	return a
+}
+
+const hotpathMarker = "//simlint:hotpath"
+
+func runHotpath(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotpathMarker(fd) {
+				continue
+			}
+			checkHotpathBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func hasHotpathMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// Pre-pass: collect append calls used in the x = append(x, ...) reuse
+	// idiom — the one append form allowed on a hot path (it extends a
+	// persistent buffer in place; capacity grows once, then steady-state
+	// calls are allocation-free under the x = x[:0] reset idiom).
+	selfAppend := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			return true
+		}
+		if types.ExprString(ast.Unparen(as.Lhs[0])) == types.ExprString(ast.Unparen(call.Args[0])) {
+			selfAppend[call] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Report(n.Pos(), "hot path %s: function literal allocates a closure on every call; hoist it to a reused field or a named function", name)
+			return false
+		case *ast.DeferStmt:
+			pass.Report(n.Pos(), "hot path %s: defer allocates a deferred-call record; restructure with explicit calls on each return path", name)
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Report(n.Pos(), "hot path %s: map literal allocates; build the map once at construction time", name)
+				case *types.Slice:
+					pass.Report(n.Pos(), "hot path %s: slice literal allocates a backing array on every call; reuse a preallocated buffer", name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Report(n.Pos(), "hot path %s: &composite literal escapes to the heap; reuse a field or pass by value", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := pass.TypesInfo.TypeOf(n); t != nil && isStringType(t) {
+					if tv, ok := pass.TypesInfo.Types[ast.Expr(n)]; !ok || tv.Value == nil {
+						pass.Report(n.Pos(), "hot path %s: string concatenation allocates; precompute the message or use constants", name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, name, n, selfAppend)
+		}
+		return true
+	})
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func checkHotpathCall(pass *Pass, name string, call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Report(call.Pos(), "hot path %s: make allocates; preallocate at construction time and reuse", name)
+			case "new":
+				pass.Report(call.Pos(), "hot path %s: new allocates; reuse a field or a pooled value", name)
+			case "append":
+				if !selfAppend[call] {
+					pass.Report(call.Pos(), "hot path %s: append into a slice other than the one being extended escapes or reallocates; use the x = append(x, ...) reuse idiom on a persistent buffer", name)
+				}
+			}
+			return
+		}
+	}
+	if fn := pass.FuncOf(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Report(call.Pos(), "hot path %s: fmt.%s allocates (interface boxing and formatting buffers); use constant panic strings or precomputed messages", name, fn.Name())
+	}
+}

@@ -8,17 +8,21 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"time"
 )
 
 // NewAnalyzers returns fresh instances of the full simlint suite:
-// determinism, abortflow, eventpairs and txdiscipline. Instances carry
-// per-run state and must not be shared between Suite runs.
+// determinism, abortflow, eventpairs, txdiscipline, syncpoint and
+// hotpath. Instances carry per-run state and must not be shared between
+// Suite runs.
 func NewAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		NewDeterminism(),
 		NewAbortFlow(),
 		NewEventPairs(),
 		NewTxDiscipline(),
+		NewSyncpoint(),
+		NewHotpath(),
 	}
 }
 
@@ -34,9 +38,32 @@ type Suite struct {
 	allows []allowDirective
 	diags  []Diagnostic
 	seen   map[string]bool
+	spent  []time.Duration
 
 	// Suppressed counts diagnostics silenced by //simlint:allow.
 	Suppressed int
+}
+
+// AnalyzerTiming is one analyzer's wall time accumulated across every
+// package of a Run, in analyzer registration order.
+type AnalyzerTiming struct {
+	Name   string  `json:"analyzer"`
+	Millis float64 `json:"millis"`
+}
+
+// Timings returns per-analyzer wall time for the last Run (nil before).
+func (s *Suite) Timings() []AnalyzerTiming {
+	var out []AnalyzerTiming
+	for i, a := range s.Analyzers {
+		if i >= len(s.spent) {
+			break
+		}
+		out = append(out, AnalyzerTiming{
+			Name:   a.Name,
+			Millis: float64(s.spent[i]) / float64(time.Millisecond),
+		})
+	}
+	return out
 }
 
 // allowDirective is one parsed //simlint:allow comment.
@@ -79,8 +106,9 @@ func (s *Suite) Run(fset *token.FileSet, pkgs []*Package) ([]Diagnostic, error) 
 	for _, pkg := range pkgs {
 		s.collectAllows(pkg)
 	}
+	s.spent = make([]time.Duration, len(s.Analyzers))
 	for _, pkg := range pkgs {
-		for _, a := range s.Analyzers {
+		for ai, a := range s.Analyzers {
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      fset,
@@ -90,7 +118,10 @@ func (s *Suite) Run(fset *token.FileSet, pkgs []*Package) ([]Diagnostic, error) 
 				suite:     s,
 				pkg:       pkg,
 			}
-			if err := a.Run(pass); err != nil {
+			t0 := time.Now()
+			err := a.Run(pass)
+			s.spent[ai] += time.Since(t0)
+			if err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
 			}
 		}
@@ -182,6 +213,8 @@ var knownAnalyzers = map[string]bool{
 	"abortflow":    true,
 	"eventpairs":   true,
 	"txdiscipline": true,
+	"syncpoint":    true,
+	"hotpath":      true,
 }
 
 // report records a diagnostic unless an allow directive suppresses it or

@@ -1,0 +1,48 @@
+// Package hotfix is a hotpath fixture: one marked function in the
+// allocation-free shape and one committing every flagged construct.
+package hotfix
+
+import "fmt"
+
+type ring struct {
+	buf []int
+	n   int
+}
+
+// good is the allocation-free shape: self-append into a persistent
+// buffer, scalar field updates, constant panic strings.
+//
+//simlint:hotpath
+func (r *ring) good(v int) {
+	r.buf = append(r.buf, v)
+	r.n++
+	if r.n < 0 {
+		panic("hotfix: negative count" + "!")
+	}
+}
+
+//simlint:hotpath
+func (r *ring) bad(v int, tag string) {
+	f := func() { r.n++ } // want "function literal allocates a closure"
+	f()
+	defer r.flush()        // want "defer allocates"
+	m := make(map[int]int) // want "make allocates"
+	_ = m
+	s := []int{v} // want "slice literal allocates"
+	_ = s
+	p := &ring{} // want "composite literal escapes"
+	_ = p
+	var other []int
+	other = append(r.buf, v) // want "append into a slice other than the one being extended"
+	_ = other
+	fmt.Println(v)              // want "fmt.Println allocates"
+	msg := "hotfix: bad " + tag // want "string concatenation allocates"
+	_ = msg
+}
+
+func (r *ring) flush() {}
+
+// unmarked functions may allocate freely.
+func (r *ring) unmarked() {
+	_ = make([]int, 8)
+}

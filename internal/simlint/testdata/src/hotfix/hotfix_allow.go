@@ -1,0 +1,11 @@
+package hotfix
+
+// tolerated documents a deliberate cold-start allocation inside a marked
+// function; the suppression carries the reason.
+//
+//simlint:hotpath
+func (r *ring) tolerated() {
+	//simlint:allow hotpath one-time lazy init, executed once before the path becomes hot
+	scratch := make([]int, 4)
+	_ = scratch
+}

@@ -21,7 +21,15 @@ func (c *CPU) Emit(kind EventKind, a Addr, aux uint64) {}
 
 func (c *CPU) Intn(n int) int { return 0 }
 
+func (c *CPU) Sync() {}
+
+func (c *CPU) Tick(cycles int64) {}
+
+func (c *CPU) Now() int64 { return 0 }
+
 type Machine struct{ mem []uint64 }
+
+func (m *Machine) Run(n int, fn func(*CPU)) int64 { return 0 }
 
 func (m *Machine) Peek(a Addr) uint64 { return m.mem[a] }
 

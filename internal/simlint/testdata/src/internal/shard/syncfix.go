@@ -1,0 +1,75 @@
+// Package shard is a syncpoint fixture: miniature server loops over
+// host-side gate state, in the good shape (every mutation behind the
+// loop's CPU.Sync, directly or through helpers) and the bad shape
+// (mutations and helper calls before the loop synchronizes).
+package shard
+
+import "hrwle/internal/machine"
+
+type gate struct {
+	inflight int
+	ops      int64
+}
+
+type deploy struct {
+	gates []gate
+	done  bool
+}
+
+// serveGood is the disciplined loop: Sync first, then every mutation —
+// including the ones helpers perform — is covered.
+func (d *deploy) serveGood(c *machine.CPU) {
+	for {
+		c.Sync()
+		g := &d.gates[0]
+		g.inflight++
+		d.bump()
+		if d.done {
+			return
+		}
+		c.Tick(10)
+	}
+}
+
+// bump never calls Sync itself; its call sites are all covered.
+func (d *deploy) bump() {
+	d.gates[0].ops++
+}
+
+// serveBad mutates the gate and calls a mutating helper before its first
+// Sync: the state changes while another CPU may be earlier in virtual
+// time.
+func (d *deploy) serveBad(c *machine.CPU) {
+	for {
+		d.gates[0].inflight++ // want "host state must only change while the CPU holds the virtual-time floor"
+		d.steal()
+		c.Sync()
+		if d.done {
+			return
+		}
+		c.Tick(10)
+	}
+}
+
+// steal is only ever reached on serveBad's pre-Sync path.
+func (d *deploy) steal() {
+	d.done = true // want "host state must only change while the CPU holds the virtual-time floor"
+}
+
+// Boot wires the loops to the machine; only loops handed to Run are
+// traversal roots (host-side setup below mutates freely).
+func Boot(m *machine.Machine, d *deploy) {
+	d.gates = []gate{{}}
+	d.done = false
+	m.Run(2, d.serveGood)
+	m.Run(2, d.serveBad)
+	m.Run(2, d.servePrimed)
+	m.Run(2, func(c *machine.CPU) {
+		local := 0
+		local++          // frame-private: exempt
+		d.gates[0].ops++ // want "host state must only change while the CPU holds the virtual-time floor"
+		c.Sync()
+		d.gates[0].inflight--
+		_ = local
+	})
+}
